@@ -1,0 +1,213 @@
+//! Mean time to data loss (paper §3.1, equations 1 and 2a–2c).
+//!
+//! # Examples
+//!
+//! ```
+//! use afraid_avail::params::ModelParams;
+//! use afraid_avail::mttdl::{mttdl_afraid, mttdl_raid5_catastrophic};
+//!
+//! let p = ModelParams::default(); // the paper's Table 1
+//! // The paper's 5-disk RAID 5: ~4e9 hours.
+//! let raid5 = mttdl_raid5_catastrophic(&p, 4);
+//! assert!((4.0e9..4.4e9).contains(&raid5));
+//! // AFRAID unprotected 5% of the time sits far below RAID 5 but far
+//! // above RAID 0 (4e5 h).
+//! let afraid = mttdl_afraid(&p, 4, 0.05);
+//! assert!(afraid < raid5 && afraid > 4.0e5);
+//! ```
+
+use crate::params::ModelParams;
+use crate::Hours;
+
+/// Equation (1): catastrophic MTTDL of a RAID 5 with `N+1` disks —
+/// two failures closer together than the repair time.
+///
+/// ```text
+/// MTTDL = MTTFdisk² / (N · (N+1) · MTTRdisk)
+/// ```
+///
+/// `n` is the number of *data* disks (the array has `n + 1` spindles).
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn mttdl_raid5_catastrophic(params: &ModelParams, n: u32) -> Hours {
+    assert!(n > 0, "RAID 5 needs at least one data disk");
+    let mttf = params.mttf_disk();
+    mttf * mttf / (f64::from(n) * f64::from(n + 1) * params.mttr_disk)
+}
+
+/// MTTDL of an unprotected array (RAID 0) with `disks` spindles: any
+/// single failure loses data.
+///
+/// # Panics
+///
+/// Panics if `disks` is zero.
+pub fn mttdl_raid0(params: &ModelParams, disks: u32) -> Hours {
+    assert!(disks > 0, "array needs at least one disk");
+    params.mttf_disk() / f64::from(disks)
+}
+
+/// Equation (2a): AFRAID's single-disk-failure contribution, active
+/// only during the fraction of time (`frac_unprot` = `Tunprot/Ttotal`)
+/// in which some stripe lacks valid parity.
+///
+/// ```text
+/// MTTDL_unprot = (Ttotal/Tunprot) · MTTFdisk / (N+1)
+/// ```
+///
+/// Conservative, as in the paper: any single-disk failure during an
+/// unprotected window is counted as data loss even if only parity would
+/// have been lost. Returns infinity when the array was never
+/// unprotected.
+///
+/// # Panics
+///
+/// Panics if `frac_unprot` is outside `[0, 1]`.
+pub fn mttdl_afraid_unprotected(params: &ModelParams, n: u32, frac_unprot: f64) -> Hours {
+    assert!(
+        (0.0..=1.0).contains(&frac_unprot),
+        "unprotected fraction out of range: {frac_unprot}"
+    );
+    if frac_unprot == 0.0 {
+        return f64::INFINITY;
+    }
+    params.mttf_disk() / (f64::from(n + 1) * frac_unprot)
+}
+
+/// Equation (2b): during protected time AFRAID loses data exactly like
+/// a RAID 5; the exposure is scaled by the protected-time fraction.
+///
+/// ```text
+/// MTTDL = Ttotal/(Ttotal − Tunprot) · MTTDL_RAID_catastrophic
+/// ```
+///
+/// # Panics
+///
+/// Panics if `frac_unprot` is outside `[0, 1]`.
+pub fn mttdl_afraid_raid_part(params: &ModelParams, n: u32, frac_unprot: f64) -> Hours {
+    assert!(
+        (0.0..=1.0).contains(&frac_unprot),
+        "unprotected fraction out of range: {frac_unprot}"
+    );
+    if frac_unprot >= 1.0 {
+        return f64::INFINITY;
+    }
+    mttdl_raid5_catastrophic(params, n) / (1.0 - frac_unprot)
+}
+
+/// Equation (2c): the two AFRAID loss modes combined as rates.
+///
+/// ```text
+/// MTTDL_AFRAID = 1 / (1/MTTDL_unprot + 1/MTTDL_raid_part)
+/// ```
+pub fn mttdl_afraid(params: &ModelParams, n: u32, frac_unprot: f64) -> Hours {
+    combine(&[
+        mttdl_afraid_unprotected(params, n, frac_unprot),
+        mttdl_afraid_raid_part(params, n, frac_unprot),
+    ])
+}
+
+/// Harmonically combines independent MTTDL contributions (failure
+/// rates add). Infinite contributions are no-ops; an empty slice is
+/// infinitely reliable.
+pub fn combine(parts: &[Hours]) -> Hours {
+    let rate: f64 = parts
+        .iter()
+        .map(|&p| {
+            assert!(p > 0.0, "MTTDL must be positive: {p}");
+            if p.is_infinite() {
+                0.0
+            } else {
+                1.0 / p
+            }
+        })
+        .sum();
+    if rate == 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> ModelParams {
+        ModelParams::default()
+    }
+
+    #[test]
+    fn paper_raid5_number() {
+        // "With a 5-disk array, and the parameters of Table 1, this
+        // gives a theoretical MTTDL of ~4·10^9 hours".
+        let mttdl = mttdl_raid5_catastrophic(&p(), 4);
+        assert!((4.0e9..4.4e9).contains(&mttdl), "mttdl {mttdl:.3e}");
+    }
+
+    #[test]
+    fn raid0_is_mttf_over_disks() {
+        assert_eq!(mttdl_raid0(&p(), 5), 2.0e6 / 5.0);
+    }
+
+    #[test]
+    fn never_unprotected_afraid_equals_raid5() {
+        let a = mttdl_afraid(&p(), 4, 0.0);
+        let r = mttdl_raid5_catastrophic(&p(), 4);
+        assert!((a - r).abs() / r < 1e-12, "a {a} r {r}");
+    }
+
+    #[test]
+    fn always_unprotected_afraid_equals_raid0() {
+        // frac = 1: the unprotected mode dominates completely and the
+        // formula degenerates to a 5-disk RAID 0.
+        let a = mttdl_afraid(&p(), 4, 1.0);
+        let r0 = mttdl_raid0(&p(), 5);
+        assert!((a - r0).abs() / r0 < 1e-12, "a {a} r0 {r0}");
+    }
+
+    #[test]
+    fn unprotected_mode_dominates_for_realistic_fractions() {
+        // Even 1% unprotected time pulls MTTDL far below the RAID 5
+        // figure: the paper's core quantitative observation.
+        let a = mttdl_afraid(&p(), 4, 0.01);
+        let unprot = mttdl_afraid_unprotected(&p(), 4, 0.01);
+        assert!((a - unprot).abs() / unprot < 0.02, "a {a} unprot {unprot}");
+        // 2e6 / (5 * 0.01) = 4e7 hours.
+        assert!((3.9e7..4.1e7).contains(&a), "a {a:.3e}");
+    }
+
+    #[test]
+    fn mttdl_decreases_with_unprotected_fraction() {
+        let mut last = f64::INFINITY;
+        for frac in [0.0, 0.001, 0.01, 0.1, 0.5, 1.0] {
+            let a = mttdl_afraid(&p(), 4, frac);
+            assert!(a <= last, "not monotone at {frac}");
+            last = a;
+        }
+    }
+
+    #[test]
+    fn combine_behaviour() {
+        assert_eq!(combine(&[]), f64::INFINITY);
+        assert_eq!(combine(&[f64::INFINITY]), f64::INFINITY);
+        assert_eq!(combine(&[100.0]), 100.0);
+        assert!((combine(&[100.0, 100.0]) - 50.0).abs() < 1e-12);
+        assert!((combine(&[2.0e6, f64::INFINITY]) - 2.0e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn support_dominates_overall() {
+        // End-to-end argument: disk-related MTTDL of 4e9 hours combined
+        // with 2e6-hour support collapses to ~2e6.
+        let overall = combine(&[mttdl_raid5_catastrophic(&p(), 4), p().mttdl_support]);
+        assert!((1.9e6..2.01e6).contains(&overall), "overall {overall:.3e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unprotected fraction out of range")]
+    fn rejects_bad_fraction() {
+        let _ = mttdl_afraid_unprotected(&p(), 4, 1.5);
+    }
+}

@@ -1,0 +1,181 @@
+//! Combined availability reports.
+//!
+//! [`AvailabilityReport`] turns measured simulation outputs (fraction
+//! of time unprotected, mean parity lag) plus the Table 1 parameters
+//! into the numbers the paper's Tables 3 and 4 report: disk-related
+//! and overall MTTDL, and the MDLR breakdown.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mdlr::{mdlr_raid0, mdlr_raid5_catastrophic, mdlr_support, mdlr_unprotected};
+use crate::mttdl::{combine, mttdl_afraid, mttdl_raid0, mttdl_raid5_catastrophic};
+use crate::params::ModelParams;
+use crate::{BytesPerHour, Hours};
+
+/// Which array design a report describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DesignKind {
+    /// Unprotected striping.
+    Raid0,
+    /// Traditional always-redundant RAID 5.
+    Raid5,
+    /// Deferred-parity AFRAID (any policy).
+    Afraid,
+}
+
+/// Availability metrics for one (design, workload, policy) run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AvailabilityReport {
+    /// Which design.
+    pub design: DesignKind,
+    /// Number of data disks (array has `n_data + 1` spindles for the
+    /// parity designs, `n_data + 1` striped spindles for RAID 0, so
+    /// that capacities match).
+    pub n_data: u32,
+    /// Measured fraction of time with at least one unprotected stripe.
+    pub frac_unprotected: f64,
+    /// Measured mean parity lag, bytes.
+    pub mean_parity_lag: f64,
+    /// Disk-related mean time to data loss, hours.
+    pub mttdl_disk: Hours,
+    /// Overall MTTDL including support components, hours.
+    pub mttdl_overall: Hours,
+    /// Disk-related MDLR, bytes/hour.
+    pub mdlr_disk: BytesPerHour,
+    /// MDLR contribution of unprotected data alone, bytes/hour.
+    pub mdlr_unprotected: BytesPerHour,
+    /// Overall MDLR including support components, bytes/hour.
+    pub mdlr_overall: BytesPerHour,
+}
+
+impl AvailabilityReport {
+    /// Builds the report for a design with `n_data` data disks.
+    ///
+    /// For RAID 0 the unprotected inputs are ignored (the whole array
+    /// is permanently unprotected by construction). For RAID 5 they
+    /// must be zero. For AFRAID they are the simulation measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if RAID 5 is passed non-zero unprotected measurements.
+    pub fn build(
+        design: DesignKind,
+        params: &ModelParams,
+        n_data: u32,
+        frac_unprotected: f64,
+        mean_parity_lag: f64,
+    ) -> AvailabilityReport {
+        let disks = n_data + 1;
+        let (mttdl_disk, mdlr_disk, mdlr_unprot, frac, lag) = match design {
+            DesignKind::Raid0 => {
+                let mttdl = mttdl_raid0(params, disks);
+                (mttdl, mdlr_raid0(params, disks), 0.0, 1.0, f64::NAN)
+            }
+            DesignKind::Raid5 => {
+                assert!(
+                    frac_unprotected == 0.0 && mean_parity_lag == 0.0,
+                    "RAID 5 cannot have unprotected data"
+                );
+                (
+                    mttdl_raid5_catastrophic(params, n_data),
+                    mdlr_raid5_catastrophic(params, n_data),
+                    0.0,
+                    0.0,
+                    0.0,
+                )
+            }
+            DesignKind::Afraid => {
+                let unprot = mdlr_unprotected(params, n_data, mean_parity_lag);
+                (
+                    mttdl_afraid(params, n_data, frac_unprotected),
+                    mdlr_raid5_catastrophic(params, n_data) + unprot,
+                    unprot,
+                    frac_unprotected,
+                    mean_parity_lag,
+                )
+            }
+        };
+        let mttdl_overall = combine(&[mttdl_disk, params.mttdl_support]);
+        let mdlr_overall = mdlr_disk + mdlr_support(params, n_data, params.mttdl_support);
+        AvailabilityReport {
+            design,
+            n_data,
+            frac_unprotected: frac,
+            mean_parity_lag: lag,
+            mttdl_disk,
+            mttdl_overall,
+            mdlr_disk,
+            mdlr_unprotected: mdlr_unprot,
+            mdlr_overall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> ModelParams {
+        ModelParams::default()
+    }
+
+    #[test]
+    fn raid5_report() {
+        let r = AvailabilityReport::build(DesignKind::Raid5, &p(), 4, 0.0, 0.0);
+        assert!((4.0e9..4.4e9).contains(&r.mttdl_disk));
+        // Overall is support-limited.
+        assert!(
+            (1.99e6..2.01e6).contains(&r.mttdl_overall),
+            "{:.3e}",
+            r.mttdl_overall
+        );
+        assert!(r.mdlr_unprotected == 0.0);
+    }
+
+    #[test]
+    fn raid0_report() {
+        let r = AvailabilityReport::build(DesignKind::Raid0, &p(), 4, 0.0, 0.0);
+        assert_eq!(r.mttdl_disk, 2.0e6 / 5.0);
+        assert!(r.mttdl_overall < r.mttdl_disk);
+        assert_eq!(r.frac_unprotected, 1.0);
+    }
+
+    #[test]
+    fn afraid_sits_between() {
+        let r5 = AvailabilityReport::build(DesignKind::Raid5, &p(), 4, 0.0, 0.0);
+        let r0 = AvailabilityReport::build(DesignKind::Raid0, &p(), 4, 0.0, 0.0);
+        let af = AvailabilityReport::build(DesignKind::Afraid, &p(), 4, 0.05, 64.0 * 1024.0);
+        assert!(af.mttdl_disk < r5.mttdl_disk);
+        assert!(af.mttdl_disk > r0.mttdl_disk);
+        assert!(af.mdlr_disk > r5.mdlr_disk);
+        assert!(af.mdlr_disk < r0.mdlr_disk);
+    }
+
+    #[test]
+    fn afraid_mdlr_dominated_by_support() {
+        // Table 3's message: MDLR_unprotected under a byte per hour,
+        // overall MDLR ~4 KB/hour from support.
+        let af = AvailabilityReport::build(DesignKind::Afraid, &p(), 4, 0.05, 100.0 * 1024.0);
+        assert!(af.mdlr_unprotected < 1.0);
+        assert!(af.mdlr_overall > 3_900.0);
+    }
+
+    #[test]
+    fn overall_mttdl_support_limited_for_modest_fractions() {
+        // Table 4's message: support (2M h) limits overall MTTDL for
+        // all but the busiest workloads.
+        let af = AvailabilityReport::build(DesignKind::Afraid, &p(), 4, 0.02, 0.0);
+        // Disk-related: 2e6/(5*0.02) = 2e7 h >> 2e6 support.
+        assert!(
+            (1.7e6..2.0e6).contains(&af.mttdl_overall),
+            "{:.3e}",
+            af.mttdl_overall
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "RAID 5 cannot have unprotected data")]
+    fn raid5_rejects_unprotected_inputs() {
+        let _ = AvailabilityReport::build(DesignKind::Raid5, &p(), 4, 0.1, 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Criterion benchmarks of whole simulation runs: one short trace
+//! replayed through each array design. Wall-clock here is simulator
+//! throughput (events per second of host time), not array performance
+//! — the array numbers come from the table/figure binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use afraid::config::ArrayConfig;
+use afraid::driver::{run_trace, RunOptions};
+use afraid::policy::ParityPolicy;
+use afraid_sim::time::SimDuration;
+use afraid_trace::workloads::{WorkloadKind, WorkloadSpec};
+
+fn bench_designs(c: &mut Criterion) {
+    let trace = WorkloadSpec::preset(WorkloadKind::Snake).generate(
+        7 * 1024 * 1024 * 1024,
+        SimDuration::from_secs(60),
+        42,
+    );
+    let mut group = c.benchmark_group("run_snake_60s");
+    for (name, policy) in [
+        ("raid0", ParityPolicy::NeverRebuild),
+        ("afraid", ParityPolicy::IdleOnly),
+        ("raid5", ParityPolicy::AlwaysRaid5),
+        (
+            "mttdl_1e8",
+            ParityPolicy::MttdlTarget {
+                target_hours: 1.0e8,
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            let cfg = ArrayConfig::paper_default(policy);
+            b.iter(|| black_box(run_trace(&cfg, &trace, &RunOptions::default())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scrub_sweep(c: &mut Criterion) {
+    // A write burst that dirties many stripes, then a long idle tail:
+    // measures the scrubber's simulation cost.
+    use afraid_sim::time::SimTime;
+    use afraid_trace::record::{IoRecord, ReqKind, Trace};
+    let cap = 7 * 1024 * 1024 * 1024u64;
+    let mut trace = Trace::new("burst", cap);
+    for i in 0..500u64 {
+        trace.push(IoRecord {
+            time: SimTime::from_millis(i * 2),
+            offset: i * 4 * 8192,
+            bytes: 8192,
+            kind: ReqKind::Write,
+        });
+    }
+    c.bench_function("scrub_500_dirty_stripes", |b| {
+        let cfg = ArrayConfig::paper_default(ParityPolicy::IdleOnly);
+        b.iter(|| black_box(run_trace(&cfg, &trace, &RunOptions::default())))
+    });
+}
+
+criterion_group! {
+    name = designs;
+    config = Criterion::default().sample_size(10);
+    targets = bench_designs, bench_scrub_sweep
+}
+criterion_main!(designs);

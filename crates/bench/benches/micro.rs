@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks of the simulator's hot paths: event
+//! queue churn, disk service-time computation, layout mapping, and
+//! RNG/distribution sampling. These guard the simulation's own
+//! performance (a full Table 2 regeneration issues tens of millions of
+//! these operations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use afraid::layout::Layout;
+use afraid_disk::disk::{Disk, DiskRequest, OpKind};
+use afraid_disk::model::DiskModel;
+use afraid_sim::dist::{Exponential, Sample};
+use afraid_sim::queue::EventQueue;
+use afraid_sim::rng::SplitMix64;
+use afraid_sim::time::{SimDuration, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(SimTime::from_nanos((i * 7919) % 10_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_disk_service(c: &mut Criterion) {
+    c.bench_function("disk_random_8k_reads", |b| {
+        let model = DiskModel::hp_c3325();
+        b.iter_batched(
+            || {
+                (
+                    Disk::new(model.clone(), SimDuration::ZERO),
+                    SplitMix64::new(1),
+                )
+            },
+            |(mut disk, mut rng)| {
+                let cap = disk.capacity_sectors() - 16;
+                let mut t = SimTime::ZERO;
+                for _ in 0..100 {
+                    let lba = rng.next_below(cap);
+                    t = disk.submit(
+                        t,
+                        &DiskRequest {
+                            lba,
+                            sectors: 16,
+                            op: OpKind::Read,
+                        },
+                    );
+                }
+                black_box(t)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_layout(c: &mut Criterion) {
+    let layout = Layout::new(5, 8192, 3_900_000);
+    c.bench_function("layout_map_range", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for i in 0..100u64 {
+                let offset = (i * 131_072) % (layout.logical_capacity() - 65_536);
+                let offset = offset / 512 * 512;
+                for s in layout.map_range(black_box(offset), 24 * 1024) {
+                    total += s.sectors;
+                }
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    c.bench_function("exponential_sampling", |b| {
+        let d = Exponential::with_mean(10.0);
+        let mut rng = SplitMix64::new(3);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += d.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_queue, bench_disk_service, bench_layout, bench_sampling
+}
+criterion_main!(micro);

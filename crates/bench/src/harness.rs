@@ -1,0 +1,138 @@
+//! Shared experiment plumbing: configurations, runs, and table
+//! formatting.
+
+use afraid::config::ArrayConfig;
+use afraid::driver::{run_trace, RunOptions, RunResult};
+use afraid::policy::ParityPolicy;
+use afraid::report::availability;
+use afraid_avail::report::AvailabilityReport;
+use afraid_sim::time::SimDuration;
+use afraid_trace::record::Trace;
+use afraid_trace::workloads::{WorkloadKind, WorkloadSpec};
+
+/// Logical capacity the synthetic traces address: 7 GB, comfortably
+/// inside the 5 x 2 GB array's ~7.8 GB usable space.
+pub const TRACE_CAPACITY: u64 = 7 * 1024 * 1024 * 1024;
+
+/// Default simulated duration per run, seconds.
+pub const DEFAULT_DURATION_SECS: u64 = 600;
+
+/// Reads the duration from the first CLI argument, defaulting to
+/// [`DEFAULT_DURATION_SECS`].
+pub fn duration_from_args() -> SimDuration {
+    let secs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_DURATION_SECS);
+    SimDuration::from_secs(secs)
+}
+
+/// Workload seed: `AFRAID_SEED` or 42.
+pub fn seed() -> u64 {
+    std::env::var("AFRAID_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// The policy sweep of the paper's Figures 3 and 4: RAID 5 at one end,
+/// pure AFRAID at the other, `MTTDL_x` targets in between (hours),
+/// with RAID 0 as the unprotected reference.
+pub fn policy_sweep() -> Vec<(String, ParityPolicy)> {
+    let mut v = vec![("raid5".to_string(), ParityPolicy::AlwaysRaid5)];
+    for target in [3.0e9, 1.0e9, 1.0e8, 3.0e7, 1.0e7, 3.0e6, 1.0e6] {
+        v.push((
+            format!("mttdl_{:.0e}", target).replace("e", "e"),
+            ParityPolicy::MttdlTarget {
+                target_hours: target,
+            },
+        ));
+    }
+    v.push(("afraid".to_string(), ParityPolicy::IdleOnly));
+    v.push(("raid0".to_string(), ParityPolicy::NeverRebuild));
+    v
+}
+
+/// The three headline designs of Table 2.
+pub fn headline_designs() -> Vec<(String, ParityPolicy)> {
+    vec![
+        ("raid0".to_string(), ParityPolicy::NeverRebuild),
+        ("afraid".to_string(), ParityPolicy::IdleOnly),
+        ("raid5".to_string(), ParityPolicy::AlwaysRaid5),
+    ]
+}
+
+/// Generates the synthetic trace for a workload.
+pub fn trace_for(kind: WorkloadKind, duration: SimDuration) -> Trace {
+    WorkloadSpec::preset(kind).generate(TRACE_CAPACITY, duration, seed())
+}
+
+/// One finished experiment cell.
+pub struct Cell {
+    /// Run measurements.
+    pub result: RunResult,
+    /// Derived availability numbers.
+    pub avail: AvailabilityReport,
+}
+
+/// Runs one (workload trace, policy) cell on the paper's array.
+pub fn run_cell(trace: &Trace, policy: ParityPolicy) -> Cell {
+    let cfg = ArrayConfig::paper_default(policy);
+    let result = run_trace(&cfg, trace, &RunOptions::default());
+    let avail = availability(&cfg, &result.metrics);
+    Cell { result, avail }
+}
+
+/// Formats hours compactly (e.g. `4.2e9 h`).
+pub fn hours(h: f64) -> String {
+    if h.is_infinite() {
+        "inf".to_string()
+    } else {
+        format!("{h:.2e}")
+    }
+}
+
+/// Formats a byte count at a human scale.
+pub fn bytes(b: f64) -> String {
+    if b >= 1024.0 * 1024.0 {
+        format!("{:.1}MB", b / (1024.0 * 1024.0))
+    } else if b >= 1024.0 {
+        format!("{:.1}KB", b / 1024.0)
+    } else {
+        format!("{b:.1}B")
+    }
+}
+
+/// Prints a rule line matching a header's width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_has_both_ends() {
+        let sweep = policy_sweep();
+        assert_eq!(sweep.first().unwrap().1, ParityPolicy::AlwaysRaid5);
+        assert_eq!(sweep.last().unwrap().1, ParityPolicy::NeverRebuild);
+        assert!(sweep.len() >= 8);
+    }
+
+    #[test]
+    fn cell_runs_quickly_on_short_trace() {
+        let trace = trace_for(WorkloadKind::Hplajw, SimDuration::from_secs(20));
+        let cell = run_cell(&trace, ParityPolicy::IdleOnly);
+        assert_eq!(cell.result.metrics.requests as usize, trace.len());
+        assert!(cell.avail.mttdl_overall > 0.0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(hours(f64::INFINITY), "inf");
+        assert_eq!(bytes(512.0), "512.0B");
+        assert_eq!(bytes(2048.0), "2.0KB");
+        assert_eq!(bytes(3.0 * 1024.0 * 1024.0), "3.0MB");
+    }
+}

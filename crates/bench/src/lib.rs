@@ -1,0 +1,22 @@
+//! Experiment harness for the AFRAID reproduction.
+//!
+//! One binary per table/figure of the paper's evaluation section:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `fig1` | Figure 1 — the small-update problem (I/Os per write) |
+//! | `table1` | Table 1 — model parameters and derived sanity checks |
+//! | `table2` | Table 2 / Figure 2 — relative performance across workloads |
+//! | `table3` | Table 3 — parity lag, unprotected time, MDLR |
+//! | `table4` | Table 4 — disk-related and overall MTTDL |
+//! | `fig3` | Figure 3 — the performance/availability trade-off curve |
+//! | `fig4` | Figure 4 — per-trace performance vs parity-update policy |
+//! | `ablation` | design-choice ablations (beyond the paper) |
+//!
+//! Run them as `cargo run --release -p afraid-bench --bin table2`.
+//! Each accepts an optional first argument: the trace duration in
+//! simulated seconds (default 600; the EXPERIMENTS.md results use
+//! 1800). The `AFRAID_SEED` environment variable changes the
+//! workload-synthesis seed.
+
+pub mod harness;

@@ -1,0 +1,169 @@
+//! Array configuration.
+
+use afraid_avail::params::ModelParams;
+use afraid_disk::model::DiskModel;
+use afraid_disk::sched::Policy;
+use afraid_sim::time::SimDuration;
+
+use crate::nvram::MarkGranularity;
+use crate::policy::ParityPolicy;
+use crate::regions::RegionMap;
+
+/// Complete configuration of one simulated array.
+///
+/// [`ArrayConfig::paper_default`] reproduces the paper's experimental
+/// setup (§4.1): a 5-wide spin-synchronised array of HP C3325 disks,
+/// 8 KB stripe units, CLOOK at the host, FCFS at the back end
+/// (implicit in the disk model), a 100 ms timer-based idle detector,
+/// a 256 KB read cache with no read-ahead, and concurrency limited to
+/// the number of physical disks.
+#[derive(Clone, Debug)]
+pub struct ArrayConfig {
+    /// Number of spindles.
+    pub disks: u32,
+    /// Stripe unit ("depth") in bytes.
+    pub stripe_unit_bytes: u64,
+    /// Disk drive model for every spindle.
+    pub disk_model: DiskModel,
+    /// Parity-update policy.
+    pub policy: ParityPolicy,
+    /// Host device-driver scheduling policy.
+    pub host_policy: Policy,
+    /// Quiet time before the array counts as idle.
+    pub idle_delay: SimDuration,
+    /// Maximum adjacent stripes coalesced into one scrub batch; also
+    /// the scrubber's preemption granularity.
+    pub scrub_batch: u64,
+    /// Marking-memory granularity (bits per stripe).
+    pub mark_granularity: MarkGranularity,
+    /// Array-controller read cache size in bytes (no read-ahead).
+    pub read_cache_bytes: u64,
+    /// Availability model parameters (used by `MttdlTarget`).
+    pub params: ModelParams,
+    /// Maintain the shadow content model (verifies parity arithmetic;
+    /// costs a few MB and a little CPU).
+    pub shadow: bool,
+    /// Spin-synchronise the spindles (the paper's setting).
+    pub spin_synchronized: bool,
+    /// Per-region redundancy overrides (paper §5); empty = the whole
+    /// array follows `policy`.
+    pub regions: RegionMap,
+}
+
+impl ArrayConfig {
+    /// The paper's experimental configuration with the given policy.
+    pub fn paper_default(policy: ParityPolicy) -> ArrayConfig {
+        ArrayConfig {
+            disks: 5,
+            stripe_unit_bytes: 8 * 1024,
+            disk_model: DiskModel::hp_c3325(),
+            policy,
+            host_policy: Policy::Clook,
+            idle_delay: SimDuration::from_millis(100),
+            scrub_batch: 8,
+            mark_granularity: MarkGranularity::STRIPE,
+            read_cache_bytes: 256 * 1024,
+            params: ModelParams::default(),
+            shadow: false,
+            spin_synchronized: true,
+            regions: RegionMap::none(),
+        }
+    }
+
+    /// A small fast array over the unit-test disk model: useful in
+    /// tests and examples that need quick, readable numbers.
+    pub fn small_test(policy: ParityPolicy) -> ArrayConfig {
+        ArrayConfig {
+            disks: 5,
+            stripe_unit_bytes: 8 * 1024,
+            disk_model: DiskModel::test_disk(),
+            policy,
+            host_policy: Policy::Clook,
+            idle_delay: SimDuration::from_millis(100),
+            scrub_batch: 8,
+            mark_granularity: MarkGranularity::STRIPE,
+            read_cache_bytes: 0,
+            params: ModelParams::default(),
+            shadow: true,
+            spin_synchronized: true,
+            regions: RegionMap::none(),
+        }
+    }
+
+    /// Number of data disks (`disks - 1`).
+    pub fn n_data(&self) -> u32 {
+        self.disks - 1
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(3..=64).contains(&self.disks) {
+            return Err(format!("disks must be 3..=64, got {}", self.disks));
+        }
+        if self.stripe_unit_bytes == 0 || !self.stripe_unit_bytes.is_multiple_of(512) {
+            return Err(format!(
+                "stripe unit must be a positive multiple of 512, got {}",
+                self.stripe_unit_bytes
+            ));
+        }
+        if self.scrub_batch == 0 {
+            return Err("scrub batch must be at least one stripe".to_string());
+        }
+        if self.idle_delay.is_zero() {
+            return Err("idle delay must be positive".to_string());
+        }
+        self.params.validate()?;
+        let unit_sectors = self.stripe_unit_bytes / 512;
+        if self.disk_model.geometry.capacity_sectors() < unit_sectors {
+            return Err("disk smaller than one stripe unit".to_string());
+        }
+        let stripes = self.disk_model.geometry.capacity_sectors() / unit_sectors;
+        self.regions.validate(stripes)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        let c = ArrayConfig::paper_default(ParityPolicy::IdleOnly);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.disks, 5);
+        assert_eq!(c.n_data(), 4);
+        assert_eq!(c.stripe_unit_bytes, 8192);
+        assert_eq!(c.idle_delay, SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn small_test_is_valid() {
+        assert!(ArrayConfig::small_test(ParityPolicy::AlwaysRaid5)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        c.disks = 2;
+        assert!(c.validate().is_err());
+
+        let mut c = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        c.stripe_unit_bytes = 1000;
+        assert!(c.validate().is_err());
+
+        let mut c = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        c.scrub_batch = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        c.idle_delay = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+    }
+}

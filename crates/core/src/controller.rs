@@ -1,0 +1,1616 @@
+//! The AFRAID array controller: request lifecycle, parity policies,
+//! and the background scrubber, as one deterministic event machine.
+//!
+//! The controller reproduces the paper's experimental structure
+//! (§4.1):
+//!
+//! * open queueing — arrivals come from the trace, independent of
+//!   service;
+//! * CLOOK at the host device driver, FCFS at each disk's back end
+//!   (the [`afraid_disk::Disk`] is a sequential server);
+//! * at most `disks` concurrently active client requests inside the
+//!   array;
+//! * a 256 KB write-through staging area and a 256 KB read cache with
+//!   no read-ahead, so cache effects stay out of the comparison;
+//! * requests are never preempted; the scrubber may only be preempted
+//!   *between* batches;
+//! * multiple writes to a stripe may proceed in parallel, but block
+//!   while a parity rebuild of that stripe is in flight;
+//! * RAID 0 is an AFRAID that never rebuilds parity, so every code
+//!   path except the parity traffic is shared between the compared
+//!   designs.
+//!
+//! Write paths:
+//!
+//! * **AFRAID mode** — mark the touched stripes in the NVRAM bitmap,
+//!   write the data, done: one disk I/O per touched unit, none extra.
+//! * **RAID 5 mode** — per stripe, the cheaper of read-modify-write
+//!   (pre-read old data + old parity, then write data + parity) and
+//!   reconstruct-write (pre-read the untouched units, then write data
+//!   plus freshly computed parity); a full-stripe write needs no
+//!   pre-reads at all.
+//!
+//! The scrubber coalesces runs of adjacent dirty stripes into batches:
+//! one read per disk per contiguous extent, then one parity write per
+//! stripe, then the marks are cleared.
+
+use std::collections::HashMap;
+
+use afraid_disk::disk::{Disk, DiskRequest, OpKind};
+use afraid_disk::sched::Scheduler;
+use afraid_sim::queue::{EventId, EventQueue};
+use afraid_sim::time::{SimDuration, SimTime};
+use afraid_trace::record::{IoRecord, ReqKind};
+
+use crate::cache::ReadCache;
+use crate::config::ArrayConfig;
+use crate::idle::IdleDetector;
+use crate::layout::Layout;
+use crate::metrics::{IoCause, MetricsBuilder};
+use crate::nvram::MarkingMemory;
+use crate::policy::{Directives, Observations, ParityPolicy, PolicyEngine, WriteMode};
+use crate::regions::RegionMode;
+use crate::shadow::{version_word, ShadowArray};
+use std::collections::VecDeque;
+
+/// Service time charged for an array-cache read hit (bus + controller
+/// time only; no mechanical delay).
+const CACHE_HIT_LATENCY: SimDuration = SimDuration::from_micros(100);
+
+/// EWMA weight for the per-burst write-volume estimate used by the
+/// `Conservative` policy.
+const BURST_EWMA_ALPHA: f64 = 0.3;
+
+/// How quickly an I/O addressed to a known-dead disk fails back to
+/// the controller.
+const FAILED_IO_LATENCY: SimDuration = SimDuration::from_micros(50);
+
+/// Simulation events.
+#[derive(Clone, Copy, Debug)]
+pub enum Ev {
+    /// Deliver the next trace record to the host queue.
+    Arrive,
+    /// One disk I/O belonging to client request `req` completed.
+    ClientIo {
+        /// Request slot.
+        req: u32,
+    },
+    /// One disk I/O belonging to scrub batch `batch` completed.
+    ScrubIo {
+        /// Batch sequence number (guards against stale events).
+        batch: u64,
+    },
+    /// The idle-detector timer fired.
+    IdleTimer,
+    /// Injected disk failure.
+    FailDisk {
+        /// Index of the failing disk.
+        disk: u32,
+    },
+    /// Injected NVRAM (marking memory) failure.
+    FailNvram,
+    /// Host-requested parity point: make a byte range redundant now
+    /// (paper §5, "analogous to the traditional database commit
+    /// operation").
+    ParityPoint {
+        /// Logical byte offset of the range.
+        offset: u64,
+        /// Length of the range in bytes.
+        bytes: u64,
+    },
+    /// A spare disk has been installed; the rebuild sweep starts.
+    SpareInstalled,
+    /// One disk I/O belonging to rebuild batch `batch` completed.
+    RebuildIo {
+        /// Batch sequence number (guards against stale events).
+        batch: u64,
+    },
+}
+
+/// One disk I/O in a request plan.
+#[derive(Clone, Copy, Debug)]
+struct PlannedIo {
+    disk: u32,
+    lba: u64,
+    sectors: u64,
+    op: OpKind,
+    cause: IoCause,
+}
+
+/// How a stripe's parity is settled when a RAID 5-mode write completes.
+#[derive(Clone, Copy, Debug)]
+enum ParityFix {
+    /// Parity kept consistent incrementally (RMW); nothing to clear.
+    None,
+    /// Reconstruct-write on a previously dirty stripe: clear its mark
+    /// (if the recorded epoch still matches) once the writes land.
+    ClearMark { stripe: u64, epoch: u32 },
+}
+
+/// Request phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Read,
+    PreRead,
+    Write,
+}
+
+/// An admitted client request.
+#[derive(Debug)]
+struct ActiveReq {
+    arrival: SimTime,
+    kind: ReqKind,
+    offset: u64,
+    bytes: u64,
+    phase: Phase,
+    pending: u32,
+    /// Phase-2 I/Os (write path) issued when the pre-reads finish.
+    writes: Vec<PlannedIo>,
+    /// Data-unit shadow updates, applied at write-phase issue.
+    shadow_writes: Vec<(u64, u32, ShadowMode)>,
+    parity_fixes: Vec<ParityFix>,
+    /// Stripes this write holds a "writing" reference on.
+    stripes_held: Vec<u64>,
+}
+
+/// How a data write affects the shadow parity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ShadowMode {
+    /// AFRAID: data only, parity left stale.
+    DataOnly,
+    /// RMW: incremental parity update.
+    Incremental,
+    /// Reconstruct-write: parity rebuilt from data afterwards.
+    Rebuild,
+}
+
+/// In-flight scrub batch.
+#[derive(Debug)]
+struct ScrubState {
+    batch_id: u64,
+    stripes: Vec<u64>,
+    pending: u32,
+    phase: ScrubPhase,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ScrubPhase {
+    Read,
+    Write,
+}
+
+/// Degraded-mode state: one disk is dead; optionally a rebuild sweep
+/// is restoring its contents onto a spare.
+#[derive(Debug)]
+struct Degraded {
+    /// The dead (or being-rebuilt) disk.
+    failed: u32,
+    /// Stripes whose unit on the failed disk is known-bad (it was
+    /// unredundant at the failure): reads of that unit return errors
+    /// until the unit is fully rewritten.
+    scarred: HashMap<u64, u32>,
+    /// The rebuild sweep, once a spare is installed.
+    rebuild: Option<Rebuild>,
+}
+
+/// In-flight rebuild sweep.
+#[derive(Debug)]
+struct Rebuild {
+    /// Stripes below this are fully restored on the spare.
+    cursor_done: u64,
+    /// Current batch (locked against client writes).
+    batch: Vec<u64>,
+    batch_id: u64,
+    pending: u32,
+    phase: ScrubPhase,
+    /// Set when the next batch could not start because its first
+    /// stripe had writes in flight; completions retry.
+    stalled: bool,
+}
+
+/// The array controller plus its event state.
+pub struct Controller {
+    cfg: ArrayConfig,
+    layout: Layout,
+    disks: Vec<Disk>,
+    marks: MarkingMemory,
+    engine: PolicyEngine,
+    /// Host queue: positions are logical sector numbers (CLOOK sorts
+    /// by array logical block address).
+    host_q: Scheduler<IoRecord>,
+    reqs: Vec<Option<ActiveReq>>,
+    free_slots: Vec<u32>,
+    /// Admitted (in-array) client requests.
+    admitted: u32,
+    pub(crate) events: EventQueue<Ev>,
+    pub(crate) now: SimTime,
+    idle: IdleDetector,
+    idle_event: Option<EventId>,
+    scrub: Option<ScrubState>,
+    next_batch_id: u64,
+    /// Requests admitted but blocked on a scrub-locked stripe.
+    blocked: Vec<u32>,
+    /// Per-stripe count of in-flight client writes.
+    writing: HashMap<u64, u32>,
+    /// Per-stripe mark epoch, bumped on every marking.
+    epochs: Vec<u32>,
+    outstanding_writes: u32,
+    pub(crate) metrics: MetricsBuilder,
+    shadow: Option<ShadowArray>,
+    read_cache: ReadCache,
+    version: u64,
+    lag_bytes: f64,
+    /// Scrub sweep cursor.
+    scrub_cursor: u64,
+    /// Stripes requested by parity points, scrubbed ahead of the sweep.
+    priority_scrub: VecDeque<u64>,
+    /// Conservative-policy burst accounting.
+    burst_bytes_acc: f64,
+    ewma_burst_bytes: f64,
+    /// Set once a disk failure ends the run (or degrades it).
+    pub(crate) failed_disk: Option<u32>,
+    /// Degraded-mode state, when operating past a disk failure.
+    degraded: Option<Degraded>,
+    /// When the rebuild sweep finished, if one ran.
+    pub(crate) rebuilt_at: Option<SimTime>,
+    /// Set when the post-NVRAM-failure sweep finishes.
+    pub(crate) reprotected_at: Option<SimTime>,
+    nvram_recovery: bool,
+}
+
+impl Controller {
+    /// Builds a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation (see
+    /// [`ArrayConfig::validate`]) or the marking granularity does not
+    /// divide the stripe unit evenly.
+    pub fn new(cfg: ArrayConfig) -> Controller {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid array config: {e}");
+        }
+        let unit_sectors = cfg.stripe_unit_bytes / 512;
+        let m = u64::from(cfg.mark_granularity.bits());
+        assert!(
+            unit_sectors.is_multiple_of(m),
+            "mark granularity {m} must divide the stripe unit ({unit_sectors} sectors)"
+        );
+        let disk_sectors = cfg.disk_model.geometry.capacity_sectors();
+        let layout = Layout::new(cfg.disks, cfg.stripe_unit_bytes, disk_sectors);
+        let rev = cfg.disk_model.revolution();
+        let disks = (0..cfg.disks)
+            .map(|i| {
+                let phase = if cfg.spin_synchronized {
+                    SimDuration::ZERO
+                } else {
+                    rev * u64::from(i) / u64::from(cfg.disks)
+                };
+                Disk::new(cfg.disk_model.clone(), phase)
+            })
+            .collect();
+        let marks = MarkingMemory::new(layout.stripes(), cfg.mark_granularity);
+        let engine = PolicyEngine::new(cfg.policy, cfg.params, cfg.n_data());
+        let shadow = cfg.shadow.then(|| ShadowArray::new(layout));
+        Controller {
+            host_q: Scheduler::new(cfg.host_policy),
+            idle: IdleDetector::new(cfg.idle_delay),
+            read_cache: ReadCache::new(cfg.read_cache_bytes, cfg.stripe_unit_bytes),
+            epochs: vec![0; layout.stripes() as usize],
+            layout,
+            disks,
+            marks,
+            engine,
+            reqs: Vec::new(),
+            free_slots: Vec::new(),
+            admitted: 0,
+            events: EventQueue::new(),
+            now: SimTime::ZERO,
+            idle_event: None,
+            scrub: None,
+            next_batch_id: 0,
+            blocked: Vec::new(),
+            writing: HashMap::new(),
+            outstanding_writes: 0,
+            metrics: MetricsBuilder::new(SimTime::ZERO),
+            shadow,
+            version: 0,
+            lag_bytes: 0.0,
+            scrub_cursor: 0,
+            priority_scrub: VecDeque::new(),
+            burst_bytes_acc: 0.0,
+            ewma_burst_bytes: 0.0,
+            failed_disk: None,
+            degraded: None,
+            rebuilt_at: None,
+            reprotected_at: None,
+            nvram_recovery: false,
+            cfg,
+        }
+    }
+
+    /// The array layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The marking memory (for inspection in tests and fault
+    /// assessment).
+    pub fn marks(&self) -> &MarkingMemory {
+        &self.marks
+    }
+
+    /// The shadow content model, if enabled.
+    pub fn shadow(&self) -> Option<&ShadowArray> {
+        self.shadow.as_ref()
+    }
+
+    /// Current parity lag in bytes.
+    pub fn lag_bytes(&self) -> f64 {
+        self.lag_bytes
+    }
+
+    /// True while a failed disk is unreplaced or being rebuilt.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+
+    /// The dead disk a stripe must route around, if any (stripes the
+    /// rebuild sweep has already restored use the spare normally).
+    fn degraded_disk_for(&self, stripe: u64) -> Option<u32> {
+        let d = self.degraded.as_ref()?;
+        if let Some(rb) = &d.rebuild {
+            if stripe < rb.cursor_done {
+                return None;
+            }
+        }
+        Some(d.failed)
+    }
+
+    /// True if a background task (scrub or rebuild batch) holds this
+    /// stripe against client writes.
+    fn stripe_locked(&self, stripe: u64) -> bool {
+        if let Some(scrub) = &self.scrub {
+            if scrub.stripes.contains(&stripe) {
+                return true;
+            }
+        }
+        if let Some(d) = &self.degraded {
+            if let Some(rb) = &d.rebuild {
+                if rb.batch.contains(&stripe) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Per-disk statistics.
+    pub fn disk_stats(&self) -> Vec<afraid_disk::disk::DiskStats> {
+        self.disks.iter().map(|d| d.stats()).collect()
+    }
+
+    fn observations(&self) -> Observations {
+        Observations {
+            now: self.now,
+            frac_unprotected: self.metrics.frac_unprotected(self.now),
+            lag_bytes: self.lag_bytes as u64,
+            dirty_stripes: self.marks.marked_count(),
+            ewma_burst_bytes: self.ewma_burst_bytes,
+        }
+    }
+
+    fn evaluate_policy(&mut self) -> Directives {
+        let obs = self.observations();
+        self.engine.evaluate(&obs)
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    /// Dispatches one event. Called by the driver loop.
+    pub(crate) fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrive => unreachable!("Arrive is handled by the driver"),
+            Ev::ClientIo { req } => self.on_client_io(req),
+            Ev::ScrubIo { batch } => self.on_scrub_io(batch),
+            Ev::IdleTimer => self.on_idle_timer(),
+            Ev::FailDisk { disk } => self.on_disk_failure(disk),
+            Ev::FailNvram => self.on_nvram_failure(),
+            Ev::ParityPoint { offset, bytes } => self.request_parity_point(offset, bytes),
+            Ev::SpareInstalled => self.on_spare_installed(),
+            Ev::RebuildIo { batch } => self.on_rebuild_io(batch),
+        }
+    }
+
+    /// Accepts a trace record into the host queue.
+    pub(crate) fn on_arrival(&mut self, rec: IoRecord) {
+        self.idle.on_arrival(self.now);
+        if let Some(ev) = self.idle_event.take() {
+            self.events.cancel(ev);
+        }
+        self.host_q.push(rec.offset / 512, rec);
+        self.metrics.note_host_queue(self.host_q.len());
+        self.try_dispatch();
+    }
+
+    fn try_dispatch(&mut self) {
+        while self.admitted < self.cfg.disks {
+            let Some(rec) = self.host_q.pop() else { break };
+            self.admitted += 1;
+            self.start_request(rec);
+        }
+    }
+
+    fn alloc_slot(&mut self, req: ActiveReq) -> u32 {
+        if let Some(slot) = self.free_slots.pop() {
+            self.reqs[slot as usize] = Some(req);
+            slot
+        } else {
+            self.reqs.push(Some(req));
+            (self.reqs.len() - 1) as u32
+        }
+    }
+
+    fn start_request(&mut self, rec: IoRecord) {
+        match rec.kind {
+            ReqKind::Read => self.start_read(rec),
+            ReqKind::Write => self.start_write(rec),
+        }
+    }
+
+    fn start_read(&mut self, rec: IoRecord) {
+        let slot = self.alloc_slot(ActiveReq {
+            arrival: rec.time,
+            kind: rec.kind,
+            offset: rec.offset,
+            bytes: rec.bytes,
+            phase: Phase::Read,
+            pending: 0,
+            writes: Vec::new(),
+            shadow_writes: Vec::new(),
+            parity_fixes: Vec::new(),
+            stripes_held: Vec::new(),
+        });
+        if self.read_cache.hit(rec.offset, rec.bytes) {
+            self.metrics.record_cache_hit();
+            self.req_mut(slot).pending = 1;
+            self.events
+                .schedule(self.now + CACHE_HIT_LATENCY, Ev::ClientIo { req: slot });
+            return;
+        }
+        let slices = self.layout.map_range(rec.offset, rec.bytes);
+
+        // Degraded mode: a slice on the dead disk either fails fast
+        // (its unit is known-bad) or is served by reconstruction from
+        // the survivors.
+        if let Some(d) = &self.degraded {
+            let touches_scar = slices.iter().any(|s| {
+                self.degraded_disk_for(s.stripe) == Some(d.failed)
+                    && s.disk == d.failed
+                    && d.scarred.get(&s.stripe) == Some(&s.unit)
+            });
+            if touches_scar {
+                // The array knows the data is gone: report a media
+                // error promptly rather than returning garbage.
+                self.metrics.record_failed_read();
+                self.req_mut(slot).pending = 1;
+                self.events
+                    .schedule(self.now + FAILED_IO_LATENCY, Ev::ClientIo { req: slot });
+                return;
+            }
+        }
+
+        let mut ios: Vec<PlannedIo> = Vec::new();
+        for sl in &slices {
+            if self.degraded_disk_for(sl.stripe) == Some(sl.disk) {
+                // Reconstruct read: same sector range from every other
+                // disk of the stripe (data peers + parity).
+                for disk in 0..self.cfg.disks {
+                    if disk != sl.disk {
+                        ios.push(PlannedIo {
+                            disk,
+                            lba: sl.disk_lba,
+                            sectors: sl.sectors,
+                            op: OpKind::Read,
+                            cause: IoCause::ReconstructRead,
+                        });
+                    }
+                }
+            } else {
+                ios.push(PlannedIo {
+                    disk: sl.disk,
+                    lba: sl.disk_lba,
+                    sectors: sl.sectors,
+                    op: OpKind::Read,
+                    cause: IoCause::ClientRead,
+                });
+            }
+        }
+        self.req_mut(slot).pending = ios.len() as u32;
+        for io in ios {
+            self.submit(io, Ev::ClientIo { req: slot });
+        }
+    }
+
+    fn start_write(&mut self, rec: IoRecord) {
+        let directives = self.evaluate_policy();
+        let slices = self.layout.map_range(rec.offset, rec.bytes);
+
+        // Block behind an in-flight parity rebuild (scrub or rebuild
+        // batch) of any touched stripe.
+        {
+            if slices.iter().any(|s| self.stripe_locked(s.stripe)) {
+                let slot = self.alloc_slot(ActiveReq {
+                    arrival: rec.time,
+                    kind: rec.kind,
+                    offset: rec.offset,
+                    bytes: rec.bytes,
+                    phase: Phase::PreRead,
+                    pending: 0,
+                    writes: Vec::new(),
+                    shadow_writes: Vec::new(),
+                    parity_fixes: Vec::new(),
+                    stripes_held: Vec::new(),
+                });
+                self.blocked.push(slot);
+                return;
+            }
+        }
+
+        self.issue_write(rec, directives.write_mode);
+    }
+
+    /// Plans and issues a write in the given mode. The request must not
+    /// conflict with a scrub batch.
+    fn issue_write(&mut self, rec: IoRecord, mode: WriteMode) {
+        self.read_cache.invalidate(rec.offset, rec.bytes);
+        self.outstanding_writes += 1;
+        if self.outstanding_writes == 1 {
+            self.metrics.set_write_busy(self.now, true);
+        }
+        self.burst_bytes_acc += rec.bytes as f64;
+
+        let slices = self.layout.map_range(rec.offset, rec.bytes);
+        let unit_sectors = self.layout.unit_sectors();
+        let unit_bytes = self.layout.unit_bytes();
+
+        // Group slices by stripe, preserving order.
+        let mut groups: Vec<(u64, Vec<crate::layout::UnitSlice>)> = Vec::new();
+        for s in slices {
+            match groups.last_mut() {
+                Some((stripe, v)) if *stripe == s.stripe => v.push(s),
+                _ => groups.push((s.stripe, vec![s])),
+            }
+        }
+
+        let mut prereads: Vec<PlannedIo> = Vec::new();
+        let mut writes: Vec<PlannedIo> = Vec::new();
+        let mut shadow_writes: Vec<(u64, u32, ShadowMode)> = Vec::new();
+        let mut parity_fixes: Vec<ParityFix> = Vec::new();
+        let mut stripes_held: Vec<u64> = Vec::new();
+
+        for (stripe, group) in &groups {
+            let stripe = *stripe;
+            stripes_held.push(stripe);
+            *self.writing.entry(stripe).or_insert(0) += 1;
+
+            // Degraded mode overrides everything: with a disk already
+            // lost there is no redundancy slack to defer, so every
+            // write keeps the stripe as protected as the survivors
+            // allow.
+            if let Some(f) = self.degraded_disk_for(stripe) {
+                self.plan_degraded_write(
+                    stripe,
+                    group,
+                    f,
+                    &mut prereads,
+                    &mut writes,
+                    &mut shadow_writes,
+                    &mut parity_fixes,
+                );
+                continue;
+            }
+
+            // Data writes are common to every mode.
+            for s in group {
+                writes.push(PlannedIo {
+                    disk: s.disk,
+                    lba: s.disk_lba,
+                    sectors: s.sectors,
+                    op: OpKind::Write,
+                    cause: IoCause::ClientWrite,
+                });
+            }
+
+            // Region overrides (paper §5): a region may pin a stripe to
+            // RAID 5 or RAID 0 semantics regardless of the policy.
+            let eff_mode = match self.cfg.regions.mode_of(stripe) {
+                RegionMode::Default => mode,
+                RegionMode::AlwaysProtect => WriteMode::Raid5,
+                RegionMode::NeverProtect => {
+                    // Declared-unprotected storage: no marking, no
+                    // parity, no scrub - the loss accounting treats
+                    // these stripes as RAID 0 by configuration.
+                    for s in group {
+                        shadow_writes.push((stripe, s.unit, ShadowMode::DataOnly));
+                    }
+                    continue;
+                }
+            };
+
+            match eff_mode {
+                WriteMode::DataOnly => {
+                    // Mark the stripe unredundant before the data hits
+                    // disk (mark-then-write: a crash in between leaves a
+                    // spuriously dirty stripe, never a silently stale
+                    // parity).
+                    for s in group {
+                        let lo = (s.disk_lba - self.layout.stripe_lba(stripe)) * 512;
+                        self.mark_dirty(stripe, lo, lo + s.sectors * 512);
+                    }
+                    for s in group {
+                        shadow_writes.push((stripe, s.unit, ShadowMode::DataOnly));
+                    }
+                }
+                WriteMode::Raid5 => {
+                    let stripe_lba = self.layout.stripe_lba(stripe);
+                    let union_lo = group
+                        .iter()
+                        .map(|s| s.disk_lba - stripe_lba)
+                        .min()
+                        .expect("non-empty");
+                    let union_hi = group
+                        .iter()
+                        .map(|s| s.disk_lba - stripe_lba + s.sectors)
+                        .max()
+                        .expect("non-empty");
+                    let parity_disk = self.layout.parity_disk(stripe);
+
+                    if self.marks.is_marked(stripe) {
+                        // Stale parity: an RMW would keep it stale, so
+                        // reconstruct the whole stripe and clear the
+                        // mark ("it also starts the parity update for
+                        // any unprotected stripes at this time").
+                        let written_full: Vec<bool> = (0..self.layout.data_units())
+                            .map(|u| group.iter().any(|s| s.unit == u && s.full_unit))
+                            .collect();
+                        for (u, full) in written_full.iter().enumerate() {
+                            if !full {
+                                prereads.push(PlannedIo {
+                                    disk: self.layout.data_disk(stripe, u as u32),
+                                    lba: stripe_lba,
+                                    sectors: unit_sectors,
+                                    op: OpKind::Read,
+                                    cause: IoCause::RmwPreRead,
+                                });
+                            }
+                        }
+                        writes.push(PlannedIo {
+                            disk: parity_disk,
+                            lba: stripe_lba,
+                            sectors: unit_sectors,
+                            op: OpKind::Write,
+                            cause: IoCause::ParityWrite,
+                        });
+                        for s in group {
+                            shadow_writes.push((stripe, s.unit, ShadowMode::Rebuild));
+                        }
+                        parity_fixes.push(ParityFix::ClearMark {
+                            stripe,
+                            epoch: self.epochs[stripe as usize],
+                        });
+                        continue;
+                    }
+
+                    // Clean stripe: choose the cheaper of RMW and
+                    // reconstruct-write over the union row range.
+                    let covers_union = |u: u32| {
+                        group.iter().any(|s| {
+                            s.unit == u
+                                && s.disk_lba - stripe_lba <= union_lo
+                                && s.disk_lba - stripe_lba + s.sectors >= union_hi
+                        })
+                    };
+                    let rmw_reads = group.len() + 1;
+                    let recon_units: Vec<u32> = (0..self.layout.data_units())
+                        .filter(|&u| !covers_union(u))
+                        .collect();
+                    if rmw_reads <= recon_units.len() {
+                        // RMW: pre-read old data under each slice plus
+                        // old parity over the union.
+                        for s in group {
+                            prereads.push(PlannedIo {
+                                disk: s.disk,
+                                lba: s.disk_lba,
+                                sectors: s.sectors,
+                                op: OpKind::Read,
+                                cause: IoCause::RmwPreRead,
+                            });
+                        }
+                        prereads.push(PlannedIo {
+                            disk: parity_disk,
+                            lba: stripe_lba + union_lo,
+                            sectors: union_hi - union_lo,
+                            op: OpKind::Read,
+                            cause: IoCause::RmwPreRead,
+                        });
+                        for s in group {
+                            shadow_writes.push((stripe, s.unit, ShadowMode::Incremental));
+                        }
+                        parity_fixes.push(ParityFix::None);
+                    } else {
+                        // Reconstruct-write: pre-read the units that do
+                        // not fully cover the union (none for a
+                        // full-stripe write).
+                        for &u in &recon_units {
+                            prereads.push(PlannedIo {
+                                disk: self.layout.data_disk(stripe, u),
+                                lba: stripe_lba + union_lo,
+                                sectors: union_hi - union_lo,
+                                op: OpKind::Read,
+                                cause: IoCause::RmwPreRead,
+                            });
+                        }
+                        for s in group {
+                            shadow_writes.push((stripe, s.unit, ShadowMode::Rebuild));
+                        }
+                        parity_fixes.push(ParityFix::None);
+                    }
+                    writes.push(PlannedIo {
+                        disk: parity_disk,
+                        lba: stripe_lba + union_lo,
+                        sectors: union_hi - union_lo,
+                        op: OpKind::Write,
+                        cause: IoCause::ParityWrite,
+                    });
+                    let _ = unit_bytes;
+                }
+            }
+        }
+
+        let slot = self.alloc_slot(ActiveReq {
+            arrival: rec.time,
+            kind: rec.kind,
+            offset: rec.offset,
+            bytes: rec.bytes,
+            phase: if prereads.is_empty() {
+                Phase::Write
+            } else {
+                Phase::PreRead
+            },
+            pending: 0,
+            writes,
+            shadow_writes,
+            parity_fixes,
+            stripes_held,
+        });
+
+        if prereads.is_empty() {
+            self.issue_write_phase(slot);
+        } else {
+            self.req_mut(slot).pending = prereads.len() as u32;
+            for io in prereads {
+                self.submit(io, Ev::ClientIo { req: slot });
+            }
+        }
+    }
+
+    /// Plans a write to a stripe whose disk `f` is dead: pre-read the
+    /// surviving units needed to recompute parity, write the surviving
+    /// data slices, and write a parity unit that absorbs the value of
+    /// the unit on the dead disk (the standard degraded write). If the
+    /// dead disk holds the stripe's parity, only the data can be
+    /// written.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_degraded_write(
+        &mut self,
+        stripe: u64,
+        group: &[crate::layout::UnitSlice],
+        f: u32,
+        prereads: &mut Vec<PlannedIo>,
+        writes: &mut Vec<PlannedIo>,
+        shadow_writes: &mut Vec<(u64, u32, ShadowMode)>,
+        parity_fixes: &mut Vec<ParityFix>,
+    ) {
+        let stripe_lba = self.layout.stripe_lba(stripe);
+        let unit_sectors = self.layout.unit_sectors();
+        let parity_disk = self.layout.parity_disk(stripe);
+
+        if parity_disk == f {
+            // No parity to maintain: plain data writes (RAID 0-like
+            // until the rebuild restores the parity unit on the spare).
+            for sl in group {
+                writes.push(PlannedIo {
+                    disk: sl.disk,
+                    lba: sl.disk_lba,
+                    sectors: sl.sectors,
+                    op: OpKind::Write,
+                    cause: IoCause::ClientWrite,
+                });
+                shadow_writes.push((stripe, sl.unit, ShadowMode::DataOnly));
+            }
+            return;
+        }
+
+        // The dead disk holds data unit `uf`.
+        let uf = (0..self.layout.data_units())
+            .find(|&u| self.layout.data_disk(stripe, u) == f)
+            .expect("dead disk holds a data unit");
+        let covers = |u: u32| group.iter().any(|sl| sl.unit == u && sl.full_unit);
+
+        // Pre-read every surviving data unit not fully overwritten;
+        // and if the dead unit is not fully overwritten, its old value
+        // must come from the old parity too.
+        for u in 0..self.layout.data_units() {
+            if u == uf || covers(u) {
+                continue;
+            }
+            prereads.push(PlannedIo {
+                disk: self.layout.data_disk(stripe, u),
+                lba: stripe_lba,
+                sectors: unit_sectors,
+                op: OpKind::Read,
+                cause: IoCause::RmwPreRead,
+            });
+        }
+        if !covers(uf) {
+            prereads.push(PlannedIo {
+                disk: parity_disk,
+                lba: stripe_lba,
+                sectors: unit_sectors,
+                op: OpKind::Read,
+                cause: IoCause::RmwPreRead,
+            });
+        }
+
+        // Write the surviving data slices; the dead unit's new bytes
+        // live only in the recomputed parity until the rebuild.
+        for sl in group {
+            if sl.disk == f {
+                continue;
+            }
+            writes.push(PlannedIo {
+                disk: sl.disk,
+                lba: sl.disk_lba,
+                sectors: sl.sectors,
+                op: OpKind::Write,
+                cause: IoCause::ClientWrite,
+            });
+        }
+        writes.push(PlannedIo {
+            disk: parity_disk,
+            lba: stripe_lba,
+            sectors: unit_sectors,
+            op: OpKind::Write,
+            cause: IoCause::ParityWrite,
+        });
+        for sl in group {
+            shadow_writes.push((stripe, sl.unit, ShadowMode::Rebuild));
+        }
+        // A fully rewritten dead unit is well-defined again: clear any
+        // scar and any stale mark.
+        if covers(uf) {
+            if let Some(d) = &mut self.degraded {
+                d.scarred.remove(&stripe);
+            }
+        }
+        if self.marks.is_marked(stripe) {
+            parity_fixes.push(ParityFix::ClearMark {
+                stripe,
+                epoch: self.epochs[stripe as usize],
+            });
+        } else {
+            parity_fixes.push(ParityFix::None);
+        }
+    }
+
+    fn issue_write_phase(&mut self, slot: u32) {
+        let req = self.reqs[slot as usize].as_mut().expect("live request");
+        req.phase = Phase::Write;
+        let writes = std::mem::take(&mut req.writes);
+        req.pending = writes.len() as u32;
+        let shadow_writes = std::mem::take(&mut req.shadow_writes);
+
+        // Apply shadow content updates at write issue.
+        self.version += 1;
+        let version = self.version;
+        if let Some(shadow) = &mut self.shadow {
+            let mut rebuilt: Vec<u64> = Vec::new();
+            for (stripe, unit, mode) in &shadow_writes {
+                let word = version_word(*stripe, *unit, version);
+                let old = shadow.write_data(*stripe, *unit, word);
+                match mode {
+                    ShadowMode::DataOnly => {}
+                    ShadowMode::Incremental => {
+                        shadow.update_parity_incremental(*stripe, old, word);
+                    }
+                    ShadowMode::Rebuild => {
+                        if !rebuilt.contains(stripe) {
+                            rebuilt.push(*stripe);
+                        }
+                    }
+                }
+            }
+            for stripe in rebuilt {
+                shadow.rebuild_parity(stripe);
+            }
+        }
+
+        for io in writes {
+            self.submit(io, Ev::ClientIo { req: slot });
+        }
+    }
+
+    fn on_client_io(&mut self, slot: u32) {
+        let req = self.req_mut(slot);
+        req.pending -= 1;
+        if req.pending > 0 {
+            return;
+        }
+        match req.phase {
+            Phase::PreRead => self.issue_write_phase(slot),
+            Phase::Read | Phase::Write => self.complete_request(slot),
+        }
+    }
+
+    fn complete_request(&mut self, slot: u32) {
+        let req = self.reqs[slot as usize].take().expect("live request");
+        self.free_slots.push(slot);
+
+        if req.kind == ReqKind::Read {
+            self.read_cache.insert(req.offset, req.bytes);
+        } else {
+            self.outstanding_writes -= 1;
+            if self.outstanding_writes == 0 {
+                self.metrics.set_write_busy(self.now, false);
+            }
+        }
+
+        // Settle parity fixes: clear marks for reconstruct-writes on
+        // previously dirty stripes, unless another write re-dirtied the
+        // stripe mid-flight.
+        for fix in &req.parity_fixes {
+            if let ParityFix::ClearMark { stripe, epoch } = fix {
+                if self.epochs[*stripe as usize] == *epoch {
+                    self.clear_mark(*stripe);
+                }
+            }
+        }
+        for stripe in &req.stripes_held {
+            match self.writing.get_mut(stripe) {
+                Some(c) if *c > 1 => *c -= 1,
+                Some(_) => {
+                    self.writing.remove(stripe);
+                }
+                None => unreachable!("stripe hold not found"),
+            }
+        }
+
+        self.metrics
+            .record_response(req.kind == ReqKind::Write, self.now.since(req.arrival));
+        self.idle.on_completion(self.now);
+        self.admitted -= 1;
+        self.try_dispatch();
+
+        // Policy may demand an immediate scrub (MTTDL_x behind target,
+        // dirty-stripe threshold, Conservative fallback); the NVRAM
+        // recovery sweep restarts here too if it stalled on busy
+        // stripes.
+        let d = self.evaluate_policy();
+        if d.scrub_now || (self.nvram_recovery && self.marks.marked_count() > 0) {
+            self.start_scrub(true);
+        }
+        self.arm_idle_timer(d.scrub_on_idle);
+        // A stalled rebuild sweep retries once the conflicting writes
+        // finish.
+        if let Some(Degraded {
+            rebuild: Some(rb), ..
+        }) = &self.degraded
+        {
+            if rb.stalled && rb.pending == 0 {
+                self.rebuild_next_batch();
+            }
+        }
+    }
+
+    fn req_mut(&mut self, slot: u32) -> &mut ActiveReq {
+        self.reqs[slot as usize].as_mut().expect("live request")
+    }
+
+    fn submit(&mut self, io: PlannedIo, ev: Ev) {
+        if self.disks[io.disk as usize].is_failed() {
+            // The controller knows the disk is dead: in-flight plans
+            // that still reference it complete immediately with an
+            // error (no physical I/O). New plans avoid dead disks.
+            self.events.schedule(self.now + FAILED_IO_LATENCY, ev);
+            return;
+        }
+        let done = self.disks[io.disk as usize].submit(
+            self.now,
+            &DiskRequest {
+                lba: io.lba,
+                sectors: io.sectors,
+                op: io.op,
+            },
+        );
+        self.metrics.record_io(io.cause);
+        self.events.schedule(done, ev);
+    }
+
+    // ------------------------------------------------------------------
+    // Marking and lag accounting
+    // ------------------------------------------------------------------
+
+    /// Marks a byte range (within-unit offsets) of `stripe` dirty and
+    /// updates the lag integral.
+    fn mark_dirty(&mut self, stripe: u64, from_byte: u64, to_byte: u64) {
+        let before = self.marks.row_mask(stripe);
+        self.marks
+            .mark_rows(stripe, self.layout.unit_bytes(), from_byte, to_byte);
+        let after = self.marks.row_mask(stripe);
+        if after != before {
+            self.epochs[stripe as usize] = self.epochs[stripe as usize].wrapping_add(1);
+            let added = (after.count_ones() - before.count_ones()) as f64;
+            let m = f64::from(self.cfg.mark_granularity.bits());
+            self.lag_bytes +=
+                added / m * f64::from(self.layout.data_units()) * self.layout.unit_bytes() as f64;
+            self.push_lag();
+        }
+    }
+
+    fn clear_mark(&mut self, stripe: u64) {
+        let mask = self.marks.row_mask(stripe);
+        if mask != 0 {
+            let m = f64::from(self.cfg.mark_granularity.bits());
+            self.lag_bytes -= mask.count_ones() as f64 / m
+                * f64::from(self.layout.data_units())
+                * self.layout.unit_bytes() as f64;
+            if self.lag_bytes < 0.5 {
+                self.lag_bytes = 0.0; // absorb float dust
+            }
+            self.marks.clear(stripe);
+            self.push_lag();
+        }
+    }
+
+    fn push_lag(&mut self) {
+        self.metrics
+            .set_lag(self.now, self.lag_bytes, self.marks.marked_count() as f64);
+    }
+
+    // ------------------------------------------------------------------
+    // Idle detection and scrubbing
+    // ------------------------------------------------------------------
+
+    fn arm_idle_timer(&mut self, scrub_on_idle: bool) {
+        let conservative = matches!(self.cfg.policy, ParityPolicy::Conservative { .. });
+        let wants_scrub = scrub_on_idle && self.marks.marked_count() > 0 && self.scrub.is_none();
+        if !(wants_scrub || conservative) {
+            return;
+        }
+        let Some(at) = self.idle.eligible_at() else {
+            return;
+        };
+        if let Some(ev) = self.idle_event.take() {
+            self.events.cancel(ev);
+        }
+        self.idle_event = Some(self.events.schedule(at.max(self.now), Ev::IdleTimer));
+    }
+
+    fn on_idle_timer(&mut self) {
+        self.idle_event = None;
+        if !self.idle.is_idle(self.now) {
+            return;
+        }
+        // An idle period has begun: fold the burst write volume into
+        // the Conservative policy's estimator.
+        if self.burst_bytes_acc > 0.0 {
+            self.ewma_burst_bytes = if self.ewma_burst_bytes == 0.0 {
+                self.burst_bytes_acc
+            } else {
+                BURST_EWMA_ALPHA * self.burst_bytes_acc
+                    + (1.0 - BURST_EWMA_ALPHA) * self.ewma_burst_bytes
+            };
+            self.burst_bytes_acc = 0.0;
+        }
+        let d = self.evaluate_policy();
+        if d.scrub_on_idle && self.marks.marked_count() > 0 {
+            self.start_scrub(false);
+        }
+    }
+
+    /// Host-requested parity point (paper §5): queue every dirty
+    /// stripe in the byte range for immediate scrubbing, ahead of the
+    /// background sweep and regardless of idleness.
+    pub fn request_parity_point(&mut self, offset: u64, bytes: u64) {
+        let end = (offset + bytes).min(self.layout.logical_capacity());
+        if offset >= end {
+            return;
+        }
+        let first = self.layout.locate(offset).stripe;
+        let last = self.layout.locate(end - 1).stripe;
+        let mut queued = false;
+        for stripe in first..=last {
+            if self.marks.is_marked(stripe) && !self.priority_scrub.contains(&stripe) {
+                self.priority_scrub.push_back(stripe);
+                queued = true;
+            }
+        }
+        self.metrics.record_parity_point();
+        if queued {
+            self.start_scrub(true);
+        }
+    }
+
+    /// Starts scrubbing if not already running. Whether scrubbing
+    /// continues under client load is re-decided by the policy at
+    /// every batch boundary.
+    fn start_scrub(&mut self, _forced: bool) {
+        if self.scrub.is_some() || self.degraded.is_some() || self.marks.marked_count() == 0 {
+            return;
+        }
+        self.scrub_next_batch();
+    }
+
+    /// Pops parity-point stripes that are still dirty and writable
+    /// into a priority batch, if any.
+    fn priority_batch(&mut self) -> Vec<u64> {
+        let mut batch = Vec::new();
+        while batch.len() < self.cfg.scrub_batch as usize {
+            let Some(s) = self.priority_scrub.pop_front() else {
+                break;
+            };
+            if self.marks.is_marked(s) && !self.writing.contains_key(&s) {
+                batch.push(s);
+            } else if self.marks.is_marked(s) {
+                // Still dirty but being written: retry later.
+                self.priority_scrub.push_back(s);
+                break;
+            }
+        }
+        batch
+    }
+
+    /// Picks and issues the next scrub batch: a run of adjacent dirty
+    /// stripes starting at the sweep cursor, skipping stripes with
+    /// writes in flight.
+    fn scrub_next_batch(&mut self) {
+        let total = self.layout.stripes();
+        // Parity-point requests jump the queue.
+        let priority = self.priority_batch();
+        if !priority.is_empty() {
+            self.issue_scrub_batch(priority);
+            return;
+        }
+        // One batch = one run of *adjacent* dirty stripes (so its disk
+        // reads coalesce into single extents) starting at the first
+        // eligible stripe past the sweep cursor. Small batches keep
+        // the scrubber's preemption granularity fine; stripes with
+        // client writes in flight are skipped.
+        let candidates = self
+            .marks
+            .marked_from(self.scrub_cursor, 4 * self.cfg.scrub_batch as usize);
+        let Some(&start) = candidates.iter().find(|s| !self.writing.contains_key(s)) else {
+            // Every nearby dirty stripe is being written: give up for
+            // now; completions will retrigger.
+            self.scrub = None;
+            return;
+        };
+        let run = self.marks.marked_run(start, self.cfg.scrub_batch);
+        let mut batch: Vec<u64> = Vec::new();
+        for s in start..start + run {
+            if self.writing.contains_key(&s) {
+                break;
+            }
+            batch.push(s);
+        }
+        let last = *batch.last().expect("start is eligible");
+        self.scrub_cursor = (last + 1) % total;
+        self.issue_scrub_batch(batch);
+    }
+
+    /// Issues the read phase of a scrub batch and installs the scrub
+    /// state.
+    fn issue_scrub_batch(&mut self, batch: Vec<u64>) {
+        debug_assert!(!batch.is_empty());
+        let batch_id = self.next_batch_id;
+        self.next_batch_id += 1;
+
+        // Plan the reads: for each dirty stripe, the dirty row range of
+        // every data unit; extents on the same disk merge when
+        // adjacent (the coalescing optimisation).
+        let unit_sectors = self.layout.unit_sectors();
+        let m = u64::from(self.cfg.mark_granularity.bits());
+        let row_sectors = unit_sectors / m;
+        let mut per_disk: Vec<Vec<(u64, u64)>> = vec![Vec::new(); self.cfg.disks as usize];
+        for &s in &batch {
+            let mask = self.marks.row_mask(s);
+            debug_assert!(mask != 0);
+            let first = mask.trailing_zeros() as u64;
+            let last_row = 63 - mask.leading_zeros() as u64;
+            let lo = self.layout.stripe_lba(s) + first * row_sectors;
+            let sectors = (last_row - first + 1) * row_sectors;
+            for u in 0..self.layout.data_units() {
+                let d = self.layout.data_disk(s, u) as usize;
+                match per_disk[d].last_mut() {
+                    Some((lba, len)) if *lba + *len == lo => *len += sectors,
+                    _ => per_disk[d].push((lo, sectors)),
+                }
+            }
+        }
+
+        let mut pending = 0u32;
+        for (d, extents) in per_disk.into_iter().enumerate() {
+            for (lba, sectors) in extents {
+                self.submit(
+                    PlannedIo {
+                        disk: d as u32,
+                        lba,
+                        sectors,
+                        op: OpKind::Read,
+                        cause: IoCause::ScrubRead,
+                    },
+                    Ev::ScrubIo { batch: batch_id },
+                );
+                pending += 1;
+            }
+        }
+        debug_assert!(pending > 0);
+        self.scrub = Some(ScrubState {
+            batch_id,
+            stripes: batch,
+            pending,
+            phase: ScrubPhase::Read,
+        });
+    }
+
+    fn on_scrub_io(&mut self, batch: u64) {
+        let Some(scrub) = &mut self.scrub else { return };
+        if scrub.batch_id != batch {
+            return; // stale event from an abandoned batch
+        }
+        scrub.pending -= 1;
+        if scrub.pending > 0 {
+            return;
+        }
+        match scrub.phase {
+            ScrubPhase::Read => self.scrub_write_phase(),
+            ScrubPhase::Write => self.finish_scrub_batch(),
+        }
+    }
+
+    fn scrub_write_phase(&mut self) {
+        let scrub = self.scrub.as_mut().expect("scrub in flight");
+        scrub.phase = ScrubPhase::Write;
+        let stripes = scrub.stripes.clone();
+        let batch_id = scrub.batch_id;
+        let m = u64::from(self.cfg.mark_granularity.bits());
+        let row_sectors = self.layout.unit_sectors() / m;
+        let mut pending = 0u32;
+        let mut ios = Vec::new();
+        for &s in &stripes {
+            let mask = self.marks.row_mask(s);
+            let first = mask.trailing_zeros() as u64;
+            let last_row = 63 - mask.leading_zeros() as u64;
+            ios.push(PlannedIo {
+                disk: self.layout.parity_disk(s),
+                lba: self.layout.stripe_lba(s) + first * row_sectors,
+                sectors: (last_row - first + 1) * row_sectors,
+                op: OpKind::Write,
+                cause: IoCause::ScrubWrite,
+            });
+            pending += 1;
+        }
+        self.scrub.as_mut().expect("scrub in flight").pending = pending;
+        for io in ios {
+            self.submit(io, Ev::ScrubIo { batch: batch_id });
+        }
+    }
+
+    fn finish_scrub_batch(&mut self) {
+        let scrub = self.scrub.take().expect("scrub in flight");
+        for &s in &scrub.stripes {
+            if let Some(shadow) = &mut self.shadow {
+                shadow.rebuild_parity(s);
+            }
+            self.clear_mark(s);
+        }
+        self.metrics.record_scrub_batch(scrub.stripes.len() as u64);
+
+        if self.nvram_recovery && self.marks.marked_count() == 0 {
+            self.nvram_recovery = false;
+            self.reprotected_at = Some(self.now);
+        }
+
+        // Unblock writes that were waiting on these stripes (they may
+        // block again on the next batch).
+        let blocked = std::mem::take(&mut self.blocked);
+        for slot in blocked {
+            self.restart_blocked(slot);
+        }
+
+        // Continue? Forced scrubs (policy demand or NVRAM recovery)
+        // keep going under load; idle scrubs are preempted between
+        // batches as soon as client work appears.
+        if self.marks.marked_count() == 0 {
+            return;
+        }
+        let d = self.evaluate_policy();
+        let keep_going =
+            d.scrub_now || self.nvram_recovery || (d.scrub_on_idle && self.idle.is_idle(self.now));
+        if keep_going {
+            self.scrub_next_batch();
+        } else {
+            self.arm_idle_timer(d.scrub_on_idle);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    fn on_disk_failure(&mut self, disk: u32) {
+        self.disks[disk as usize].fail();
+        self.failed_disk = Some(disk);
+        // The driver either ends the run here (loss assessed from the
+        // marking memory and shadow model) or calls
+        // [`Controller::enter_degraded`] to continue.
+    }
+
+    /// Switches to degraded operation after `disk` failed. Loss must
+    /// already have been assessed: dirty stripes whose data unit lived
+    /// on the dead disk become *scarred* (reads of that unit fail
+    /// until it is fully rewritten), their reconstruction value is
+    /// absorbed as the unit's defined content, and their marks clear;
+    /// dirty stripes whose *parity* lived on the dead disk stay marked
+    /// until the rebuild sweep recomputes them onto the spare.
+    pub(crate) fn enter_degraded(&mut self, disk: u32) {
+        // Abandon any in-flight scrub: its remaining events are
+        // ignored via the batch-id check, and no new scrubs start
+        // while degraded.
+        self.scrub = None;
+        if let Some(ev) = self.idle_event.take() {
+            self.events.cancel(ev);
+        }
+
+        let mut scarred: HashMap<u64, u32> = HashMap::new();
+        let dirty: Vec<u64> = self.marks.marked_from(0, usize::MAX >> 1);
+        for stripe in dirty {
+            if self.layout.parity_disk(stripe) == disk {
+                continue; // parity lost, data intact: rebuild fixes it
+            }
+            let uf = (0..self.layout.data_units())
+                .find(|&u| self.layout.data_disk(stripe, u) == disk)
+                .expect("dead disk holds a data unit");
+            scarred.insert(stripe, uf);
+            // The unit's content is permanently whatever the stale
+            // parity reconstructs; absorb that value so the XOR
+            // identity holds again (the *loss* was already reported).
+            if let Some(shadow) = &mut self.shadow {
+                let garbage = shadow.xor_survivors(stripe, disk);
+                shadow.write_data(stripe, uf, garbage);
+            }
+            self.clear_mark(stripe);
+        }
+        self.degraded = Some(Degraded {
+            failed: disk,
+            scarred,
+            rebuild: None,
+        });
+
+        // Re-plan writes that were blocked behind the abandoned scrub.
+        let blocked = std::mem::take(&mut self.blocked);
+        for slot in blocked {
+            self.restart_blocked(slot);
+        }
+    }
+
+    /// Re-enters a blocked request through the planning path.
+    fn restart_blocked(&mut self, slot: u32) {
+        let req = self.reqs[slot as usize].take().expect("blocked request");
+        self.free_slots.push(slot);
+        let rec = IoRecord {
+            time: req.arrival,
+            offset: req.offset,
+            bytes: req.bytes,
+            kind: req.kind,
+        };
+        self.start_request(rec);
+    }
+
+    /// Rebuild-sweep batch size, in stripes.
+    fn rebuild_batch_stripes(&self) -> u64 {
+        4 * self.cfg.scrub_batch
+    }
+
+    fn on_spare_installed(&mut self) {
+        let Some(d) = &mut self.degraded else { return };
+        if d.rebuild.is_some() {
+            return;
+        }
+        self.disks[d.failed as usize].replace();
+        d.rebuild = Some(Rebuild {
+            cursor_done: 0,
+            batch: Vec::new(),
+            batch_id: 0,
+            pending: 0,
+            phase: ScrubPhase::Read,
+            stalled: false,
+        });
+        self.rebuild_next_batch();
+    }
+
+    /// Issues the next rebuild batch: read a contiguous extent from
+    /// every survivor, then write the reconstructed extent onto the
+    /// spare. Stripes with client writes in flight stall the sweep
+    /// until they complete.
+    fn rebuild_next_batch(&mut self) {
+        let (failed, start) = match &self.degraded {
+            Some(Degraded {
+                failed,
+                rebuild: Some(rb),
+                ..
+            }) => (*failed, rb.cursor_done),
+            _ => return,
+        };
+        let total = self.layout.stripes();
+        if start >= total {
+            self.finish_rebuild();
+            return;
+        }
+        let max_end = (start + self.rebuild_batch_stripes()).min(total);
+        let mut end = start;
+        while end < max_end && !self.writing.contains_key(&end) {
+            end += 1;
+        }
+        if end == start {
+            if let Some(Degraded {
+                rebuild: Some(rb), ..
+            }) = &mut self.degraded
+            {
+                rb.stalled = true;
+            }
+            return;
+        }
+        let batch_id = self.next_batch_id;
+        self.next_batch_id += 1;
+        let lba = self.layout.stripe_lba(start);
+        let sectors = (end - start) * self.layout.unit_sectors();
+        let mut pending = 0u32;
+        for disk in 0..self.cfg.disks {
+            if disk == failed {
+                continue;
+            }
+            self.submit(
+                PlannedIo {
+                    disk,
+                    lba,
+                    sectors,
+                    op: OpKind::Read,
+                    cause: IoCause::RebuildRead,
+                },
+                Ev::RebuildIo { batch: batch_id },
+            );
+            pending += 1;
+        }
+        if let Some(Degraded {
+            rebuild: Some(rb), ..
+        }) = &mut self.degraded
+        {
+            rb.batch = (start..end).collect();
+            rb.batch_id = batch_id;
+            rb.pending = pending;
+            rb.phase = ScrubPhase::Read;
+            rb.stalled = false;
+        }
+    }
+
+    fn on_rebuild_io(&mut self, batch: u64) {
+        let (failed, phase, done) = match &mut self.degraded {
+            Some(Degraded {
+                failed,
+                rebuild: Some(rb),
+                ..
+            }) => {
+                if rb.batch_id != batch {
+                    return; // stale event
+                }
+                rb.pending -= 1;
+                (*failed, rb.phase, rb.pending == 0)
+            }
+            _ => return,
+        };
+        if !done {
+            return;
+        }
+        match phase {
+            ScrubPhase::Read => {
+                // Write the reconstructed extent onto the spare.
+                let (lba, sectors, batch_id) = {
+                    let Some(Degraded {
+                        rebuild: Some(rb), ..
+                    }) = &mut self.degraded
+                    else {
+                        unreachable!("rebuild in flight")
+                    };
+                    rb.phase = ScrubPhase::Write;
+                    rb.pending = 1;
+                    let first = rb.batch[0];
+                    let len = rb.batch.len() as u64;
+                    (
+                        self.layout.stripe_lba(first),
+                        len * self.layout.unit_sectors(),
+                        rb.batch_id,
+                    )
+                };
+                self.submit(
+                    PlannedIo {
+                        disk: failed,
+                        lba,
+                        sectors,
+                        op: OpKind::Write,
+                        cause: IoCause::RebuildWrite,
+                    },
+                    Ev::RebuildIo { batch: batch_id },
+                );
+            }
+            ScrubPhase::Write => self.finish_rebuild_batch(failed),
+        }
+    }
+
+    fn finish_rebuild_batch(&mut self, failed: u32) {
+        let batch = {
+            let Some(Degraded {
+                rebuild: Some(rb), ..
+            }) = &mut self.degraded
+            else {
+                unreachable!("rebuild in flight")
+            };
+            let batch = std::mem::take(&mut rb.batch);
+            rb.cursor_done = batch.last().expect("non-empty batch") + 1;
+            batch
+        };
+        for &s in &batch {
+            if self.layout.parity_disk(s) == failed {
+                if let Some(shadow) = &mut self.shadow {
+                    shadow.rebuild_parity(s);
+                }
+                self.clear_mark(s);
+            }
+        }
+        let blocked = std::mem::take(&mut self.blocked);
+        for slot in blocked {
+            self.restart_blocked(slot);
+        }
+        self.rebuild_next_batch();
+    }
+
+    fn finish_rebuild(&mut self) {
+        self.degraded = None;
+        self.rebuilt_at = Some(self.now);
+        // Normal operation resumes; let the policy pick up any
+        // remaining background work.
+        let d = self.evaluate_policy();
+        self.arm_idle_timer(d.scrub_on_idle);
+    }
+
+    fn on_nvram_failure(&mut self) {
+        // Contents lost: conservatively treat every stripe as
+        // unredundant and sweep the whole array ("the recovery
+        // technique for a failed marking memory is simply to rebuild
+        // parity for the whole array ... in parallel with continued
+        // use").
+        self.marks.fail();
+        for e in &mut self.epochs {
+            *e = e.wrapping_add(1);
+        }
+        self.lag_bytes = self.marks.marked_count() as f64
+            * f64::from(self.layout.data_units())
+            * self.layout.unit_bytes() as f64;
+        self.push_lag();
+        self.nvram_recovery = true;
+        self.start_scrub(true);
+    }
+}

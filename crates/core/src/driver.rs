@@ -1,0 +1,134 @@
+//! End-to-end trace-driven simulation runs.
+//!
+//! [`run_trace`] replays a trace through a configured array and
+//! returns the full measurement set. Arrival times come from the trace
+//! (open queueing); the run continues past the last arrival until all
+//! requests have completed and — for parity-deferring policies — the
+//! final idle period has let the scrubber drain the remaining dirty
+//! stripes, so the unprotected-time accounting is honest about the
+//! tail.
+
+use afraid_sim::time::{SimDuration, SimTime};
+use afraid_trace::record::Trace;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ArrayConfig;
+use crate::controller::{Controller, Ev};
+use crate::faults::{assess_loss, DataLossReport};
+use crate::metrics::RunMetrics;
+
+/// Optional fault injections and run switches.
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Fail this disk at this time; the run ends there with a loss
+    /// assessment.
+    pub fail_disk: Option<(u32, SimTime)>,
+    /// Fail the NVRAM marking memory at this time; the array starts a
+    /// conservative full sweep and the run records when protection was
+    /// fully restored.
+    pub fail_nvram: Option<SimTime>,
+    /// Host-requested parity points: at each instant, force the given
+    /// byte range `(offset, bytes)` to full redundancy (paper §5's
+    /// commit-like operation).
+    pub parity_points: Vec<(SimTime, u64, u64)>,
+    /// Keep running after the injected disk failure: reads reconstruct
+    /// from the survivors, writes use the degraded paths, and scarred
+    /// (lost) units return errors until rewritten.
+    pub continue_degraded: bool,
+    /// Install a spare this long after the failure and rebuild onto it
+    /// (requires `continue_degraded`).
+    pub spare_delay: Option<SimDuration>,
+}
+
+/// Everything a run produces.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Performance and lag measurements.
+    pub metrics: RunMetrics,
+    /// Loss assessment, if a disk failure was injected.
+    pub loss: Option<DataLossReport>,
+    /// When the post-NVRAM-failure sweep finished, if one was injected
+    /// and completed.
+    pub reprotected_at: Option<SimTime>,
+    /// When the rebuild sweep restored the spare, if one ran.
+    pub rebuilt_at: Option<SimTime>,
+    /// Simulated end of the run.
+    pub end: SimTime,
+}
+
+/// Replays `trace` through an array configured by `cfg`.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the trace addresses
+/// space beyond the array's logical capacity.
+pub fn run_trace(cfg: &ArrayConfig, trace: &Trace, opts: &RunOptions) -> RunResult {
+    let mut c = Controller::new(cfg.clone());
+    assert!(
+        trace.capacity <= c.layout().logical_capacity(),
+        "trace capacity {} exceeds array capacity {}",
+        trace.capacity,
+        c.layout().logical_capacity()
+    );
+
+    if let Some((disk, at)) = opts.fail_disk {
+        assert!(disk < cfg.disks, "no such disk {disk}");
+        c.events.schedule(at, Ev::FailDisk { disk });
+    }
+    if let Some(at) = opts.fail_nvram {
+        c.events.schedule(at, Ev::FailNvram);
+    }
+    for &(at, offset, bytes) in &opts.parity_points {
+        c.events.schedule(at, Ev::ParityPoint { offset, bytes });
+    }
+
+    let mut next_arrival = 0usize;
+    if let Some(first) = trace.records.first() {
+        c.events.schedule(first.time, Ev::Arrive);
+    }
+
+    let mut loss: Option<DataLossReport> = None;
+    while let Some((t, ev)) = c.events.pop() {
+        debug_assert!(t >= c.now, "time went backwards");
+        c.now = t;
+        match ev {
+            Ev::Arrive => {
+                let rec = trace.records[next_arrival];
+                next_arrival += 1;
+                if next_arrival < trace.records.len() {
+                    c.events
+                        .schedule(trace.records[next_arrival].time, Ev::Arrive);
+                }
+                c.on_arrival(rec);
+            }
+            Ev::FailDisk { disk } => {
+                c.handle(ev);
+                loss = Some(assess_loss(
+                    c.layout(),
+                    c.marks(),
+                    c.shadow(),
+                    &cfg.regions,
+                    disk,
+                    c.now,
+                ));
+                if !opts.continue_degraded {
+                    break;
+                }
+                c.enter_degraded(disk);
+                if let Some(delay) = opts.spare_delay {
+                    c.events.schedule(c.now + delay, Ev::SpareInstalled);
+                }
+            }
+            other => c.handle(other),
+        }
+    }
+
+    let end = c.now.max(trace.end_time());
+    RunResult {
+        metrics: c.metrics.clone().finish(end),
+        loss,
+        reprotected_at: c.reprotected_at,
+        rebuilt_at: c.rebuilt_at,
+        end,
+    }
+}

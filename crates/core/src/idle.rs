@@ -1,0 +1,206 @@
+//! Idle detection (paper §4.1 and \[Golding95\], *Idleness is not
+//! sloth*).
+//!
+//! The baseline AFRAID uses a timer-based detector: once the array has
+//! been completely idle — no active client requests and no new
+//! arrivals — for 100 ms, background parity rebuilding may start. The
+//! [`IdlePredictor`] adds the Golding-style refinement: an
+//! exponentially weighted estimate of how long idle periods last, so
+//! policies can decide whether a just-started idle period is likely to
+//! fit useful scrub work.
+
+use afraid_sim::time::{SimDuration, SimTime};
+
+/// Timer-based idle detector.
+///
+/// The owner reports request activity; the detector answers "has the
+/// array been idle long enough" and "when should I check again".
+#[derive(Clone, Debug)]
+pub struct IdleDetector {
+    delay: SimDuration,
+    last_activity: SimTime,
+    active: u32,
+}
+
+impl IdleDetector {
+    /// Creates a detector with the given quiet-time threshold
+    /// (100 ms in the paper's experiments).
+    pub fn new(delay: SimDuration) -> IdleDetector {
+        IdleDetector {
+            delay,
+            last_activity: SimTime::ZERO,
+            active: 0,
+        }
+    }
+
+    /// The configured quiet-time threshold.
+    pub fn delay(&self) -> SimDuration {
+        self.delay
+    }
+
+    /// A client request arrived (admitted or queued) at `now`.
+    pub fn on_arrival(&mut self, now: SimTime) {
+        self.active += 1;
+        self.last_activity = self.last_activity.max(now);
+    }
+
+    /// A client request completed at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there was no active request.
+    pub fn on_completion(&mut self, now: SimTime) {
+        assert!(self.active > 0, "completion without active request");
+        self.active -= 1;
+        self.last_activity = self.last_activity.max(now);
+    }
+
+    /// Number of in-flight client requests.
+    pub fn active(&self) -> u32 {
+        self.active
+    }
+
+    /// True if the array has been completely idle for the threshold.
+    pub fn is_idle(&self, now: SimTime) -> bool {
+        self.active == 0 && now.saturating_since(self.last_activity) >= self.delay
+    }
+
+    /// When the array *would* become idle if nothing else happens, or
+    /// `None` while requests are in flight. The controller schedules
+    /// its idle-check event at this instant.
+    pub fn eligible_at(&self) -> Option<SimTime> {
+        if self.active == 0 {
+            Some(self.last_activity + self.delay)
+        } else {
+            None
+        }
+    }
+}
+
+/// Exponentially weighted estimator of idle-period duration.
+///
+/// Feed it the length of each completed idle period; it predicts the
+/// next one. Used by the `Conservative` policy to judge whether the
+/// workload leaves enough slack to keep the redundancy deficit low.
+#[derive(Clone, Debug)]
+pub struct IdlePredictor {
+    alpha: f64,
+    estimate: Option<f64>,
+}
+
+impl IdlePredictor {
+    /// Creates a predictor with smoothing factor `alpha` in `(0, 1]`
+    /// (weight of the newest observation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is out of range.
+    pub fn new(alpha: f64) -> IdlePredictor {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range: {alpha}");
+        IdlePredictor {
+            alpha,
+            estimate: None,
+        }
+    }
+
+    /// Records a completed idle period.
+    pub fn record(&mut self, idle: SimDuration) {
+        let x = idle.as_secs_f64();
+        self.estimate = Some(match self.estimate {
+            None => x,
+            Some(e) => self.alpha * x + (1.0 - self.alpha) * e,
+        });
+    }
+
+    /// Predicted duration of the next idle period, if any history
+    /// exists.
+    pub fn predict(&self) -> Option<SimDuration> {
+        self.estimate.map(SimDuration::from_secs_f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D: SimDuration = SimDuration::from_millis(100);
+
+    #[test]
+    fn starts_idle_eligible_after_delay() {
+        let d = IdleDetector::new(D);
+        assert!(!d.is_idle(SimTime::ZERO));
+        assert!(d.is_idle(SimTime::from_millis(100)));
+        assert_eq!(d.eligible_at(), Some(SimTime::from_millis(100)));
+    }
+
+    #[test]
+    fn active_requests_block_idleness() {
+        let mut d = IdleDetector::new(D);
+        d.on_arrival(SimTime::from_millis(10));
+        assert!(!d.is_idle(SimTime::from_secs(10)));
+        assert_eq!(d.eligible_at(), None);
+        d.on_completion(SimTime::from_millis(50));
+        assert!(!d.is_idle(SimTime::from_millis(149)));
+        assert!(d.is_idle(SimTime::from_millis(150)));
+        assert_eq!(d.eligible_at(), Some(SimTime::from_millis(150)));
+    }
+
+    #[test]
+    fn arrival_resets_the_clock() {
+        let mut d = IdleDetector::new(D);
+        d.on_arrival(SimTime::from_millis(10));
+        d.on_completion(SimTime::from_millis(20));
+        d.on_arrival(SimTime::from_millis(90));
+        d.on_completion(SimTime::from_millis(95));
+        assert!(!d.is_idle(SimTime::from_millis(120)));
+        assert!(d.is_idle(SimTime::from_millis(195)));
+    }
+
+    #[test]
+    fn overlapping_requests_counted() {
+        let mut d = IdleDetector::new(D);
+        d.on_arrival(SimTime::from_millis(1));
+        d.on_arrival(SimTime::from_millis(2));
+        d.on_completion(SimTime::from_millis(3));
+        assert_eq!(d.active(), 1);
+        assert!(!d.is_idle(SimTime::from_secs(1)));
+        d.on_completion(SimTime::from_millis(4));
+        assert!(d.is_idle(SimTime::from_millis(104)));
+    }
+
+    #[test]
+    #[should_panic(expected = "completion without active request")]
+    fn completion_underflow_panics() {
+        let mut d = IdleDetector::new(D);
+        d.on_completion(SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn predictor_warms_up() {
+        let mut p = IdlePredictor::new(0.5);
+        assert_eq!(p.predict(), None);
+        p.record(SimDuration::from_secs(2));
+        assert_eq!(p.predict(), Some(SimDuration::from_secs(2)));
+        p.record(SimDuration::from_secs(4));
+        assert_eq!(p.predict(), Some(SimDuration::from_secs(3)));
+    }
+
+    #[test]
+    fn predictor_tracks_shifts() {
+        let mut p = IdlePredictor::new(0.3);
+        for _ in 0..50 {
+            p.record(SimDuration::from_secs(1));
+        }
+        for _ in 0..50 {
+            p.record(SimDuration::from_secs(10));
+        }
+        let e = p.predict().unwrap().as_secs_f64();
+        assert!(e > 9.0, "estimate {e} failed to track the shift");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha out of range")]
+    fn predictor_rejects_bad_alpha() {
+        let _ = IdlePredictor::new(0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Glue from simulation measurements to availability numbers.
+
+use afraid_avail::report::{AvailabilityReport, DesignKind};
+
+use crate::config::ArrayConfig;
+use crate::metrics::RunMetrics;
+use crate::policy::ParityPolicy;
+
+/// The design kind an availability report should use for a policy:
+/// `NeverRebuild` is the RAID 0 model, `AlwaysRaid5` a RAID 5, and
+/// everything else is AFRAID.
+pub fn design_kind(policy: ParityPolicy) -> DesignKind {
+    match policy {
+        ParityPolicy::NeverRebuild => DesignKind::Raid0,
+        ParityPolicy::AlwaysRaid5 => DesignKind::Raid5,
+        _ => DesignKind::Afraid,
+    }
+}
+
+/// Builds the availability report for a finished run.
+pub fn availability(cfg: &ArrayConfig, metrics: &RunMetrics) -> AvailabilityReport {
+    let kind = design_kind(cfg.policy);
+    let (frac, lag) = match kind {
+        DesignKind::Afraid => (metrics.frac_unprotected, metrics.mean_parity_lag_bytes),
+        _ => (0.0, 0.0),
+    };
+    AvailabilityReport::build(kind, &cfg.params, cfg.n_data(), frac, lag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_map_correctly() {
+        assert_eq!(design_kind(ParityPolicy::NeverRebuild), DesignKind::Raid0);
+        assert_eq!(design_kind(ParityPolicy::AlwaysRaid5), DesignKind::Raid5);
+        assert_eq!(design_kind(ParityPolicy::IdleOnly), DesignKind::Afraid);
+        assert_eq!(
+            design_kind(ParityPolicy::MttdlTarget { target_hours: 1e6 }),
+            DesignKind::Afraid
+        );
+        assert_eq!(
+            design_kind(ParityPolicy::Conservative {
+                lag_bound_bytes: 1 << 20
+            }),
+            DesignKind::Afraid
+        );
+    }
+}

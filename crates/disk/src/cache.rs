@@ -1,0 +1,218 @@
+//! On-drive segmented read cache.
+//!
+//! Disks of the C3325 generation carried a small (64–512 KB) buffer
+//! split into a handful of segments, each holding one contiguous run of
+//! recently read (or read-ahead) sectors. A read that hits a segment is
+//! served at bus rate with no mechanical delay.
+//!
+//! The AFRAID experiments run with the drive cache disabled (the paper
+//! takes pains to exclude cache effects from the comparison), but the
+//! model is provided — and tested — so that the disk model is complete
+//! and cache sensitivity can be explored in the ablation bench.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A contiguous cached run of sectors `[start, start + len)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct Segment {
+    start: u64,
+    len: u64,
+}
+
+impl Segment {
+    fn contains(&self, lba: u64, sectors: u64) -> bool {
+        lba >= self.start && lba + sectors <= self.start + self.len
+    }
+
+    fn overlaps(&self, lba: u64, sectors: u64) -> bool {
+        lba < self.start + self.len && self.start < lba + sectors
+    }
+}
+
+/// LRU-replaced segmented cache over sector runs.
+///
+/// # Examples
+///
+/// ```
+/// use afraid_disk::cache::SegmentedCache;
+///
+/// let mut c = SegmentedCache::new(2, 128);
+/// c.insert(1000, 64);
+/// assert!(c.hit(1010, 8));
+/// assert!(!c.hit(2000, 8));
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SegmentedCache {
+    /// Most recently used at the back.
+    segments: VecDeque<Segment>,
+    max_segments: usize,
+    max_segment_sectors: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SegmentedCache {
+    /// Creates a cache with `max_segments` segments, each capped at
+    /// `max_segment_sectors` sectors.
+    ///
+    /// A cache with zero segments is valid and never hits — that is the
+    /// configuration the AFRAID experiments use.
+    pub fn new(max_segments: usize, max_segment_sectors: u64) -> Self {
+        SegmentedCache {
+            segments: VecDeque::new(),
+            max_segments,
+            max_segment_sectors,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A disabled cache (never hits).
+    pub fn disabled() -> Self {
+        SegmentedCache::new(0, 0)
+    }
+
+    /// True if the whole run `[lba, lba+sectors)` is cached; updates
+    /// LRU order and hit statistics.
+    pub fn hit(&mut self, lba: u64, sectors: u64) -> bool {
+        if let Some(i) = self.segments.iter().position(|s| s.contains(lba, sectors)) {
+            let seg = self.segments.remove(i).expect("index valid");
+            self.segments.push_back(seg);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Inserts a run that was just read from the media (or read ahead),
+    /// truncated to the segment size, evicting the least recently used
+    /// segment if full.
+    pub fn insert(&mut self, lba: u64, sectors: u64) {
+        if self.max_segments == 0 || sectors == 0 {
+            return;
+        }
+        let len = sectors.min(self.max_segment_sectors);
+        // Merge with an adjacent/overlapping segment if the new run
+        // extends it forward (the common sequential pattern).
+        if let Some(i) = self
+            .segments
+            .iter()
+            .position(|s| s.overlaps(lba, len) || s.start + s.len == lba)
+        {
+            let mut seg = self.segments.remove(i).expect("index valid");
+            let end = (lba + len).max(seg.start + seg.len);
+            seg.start = seg.start.min(lba);
+            seg.len = (end - seg.start).min(self.max_segment_sectors);
+            self.segments.push_back(seg);
+            return;
+        }
+        if self.segments.len() == self.max_segments {
+            self.segments.pop_front();
+        }
+        self.segments.push_back(Segment { start: lba, len });
+    }
+
+    /// Invalidates any segment overlapping a written range (the model
+    /// is write-through and does not cache written data).
+    pub fn invalidate(&mut self, lba: u64, sectors: u64) {
+        self.segments.retain(|s| !s.overlaps(lba, sectors));
+    }
+
+    /// Drops all cached data.
+    pub fn clear(&mut self) {
+        self.segments.clear();
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cache_misses() {
+        let mut c = SegmentedCache::new(4, 64);
+        assert!(!c.hit(0, 8));
+        assert_eq!(c.stats(), (0, 1));
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let mut c = SegmentedCache::disabled();
+        c.insert(0, 64);
+        assert!(!c.hit(0, 8));
+    }
+
+    #[test]
+    fn hit_requires_full_containment() {
+        let mut c = SegmentedCache::new(4, 64);
+        c.insert(100, 10);
+        assert!(c.hit(100, 10));
+        assert!(c.hit(105, 5));
+        assert!(!c.hit(105, 6)); // extends past the segment
+        assert!(!c.hit(99, 2)); // starts before it
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = SegmentedCache::new(2, 64);
+        c.insert(0, 8);
+        c.insert(100, 8);
+        assert!(c.hit(0, 8)); // touch 0 so 100 becomes LRU
+        c.insert(200, 8); // evicts 100
+        assert!(!c.hit(100, 8));
+        assert!(c.hit(0, 8));
+        assert!(c.hit(200, 8));
+    }
+
+    #[test]
+    fn sequential_runs_merge() {
+        let mut c = SegmentedCache::new(2, 128);
+        c.insert(0, 32);
+        c.insert(32, 32);
+        assert!(c.hit(0, 64));
+        // Still only one segment used: a second distinct insert must
+        // not evict the merged run.
+        c.insert(1000, 8);
+        assert!(c.hit(0, 64));
+    }
+
+    #[test]
+    fn segment_size_cap() {
+        let mut c = SegmentedCache::new(1, 16);
+        c.insert(0, 100);
+        assert!(c.hit(0, 16));
+        assert!(!c.hit(0, 17));
+    }
+
+    #[test]
+    fn write_invalidates() {
+        let mut c = SegmentedCache::new(4, 64);
+        c.insert(0, 64);
+        c.invalidate(10, 4);
+        assert!(!c.hit(0, 8));
+    }
+
+    #[test]
+    fn invalidate_misses_nonoverlapping() {
+        let mut c = SegmentedCache::new(4, 64);
+        c.insert(0, 8);
+        c.invalidate(8, 8);
+        assert!(c.hit(0, 8));
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut c = SegmentedCache::new(4, 64);
+        c.insert(0, 8);
+        c.clear();
+        assert!(!c.hit(0, 8));
+    }
+}

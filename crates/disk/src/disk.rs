@@ -1,0 +1,521 @@
+//! The disk service-time state machine.
+//!
+//! A [`Disk`] is a sequential server: requests are serviced one at a
+//! time in submission order (the AFRAID paper runs FCFS at the array
+//! back end). Service time is computed mechanistically:
+//!
+//! ```text
+//! service = command overhead
+//!         + seek (two-regime curve over cylinder distance)
+//!         + rotational latency (exact, from the angular position of
+//!           the spindle at the moment the seek completes)
+//!         + media transfer (sector times, plus head/cylinder switch
+//!           costs for runs crossing track boundaries)
+//! ```
+//!
+//! The spindle's angular position is a pure function of simulated time
+//! and the disk's spin phase; giving all disks the same phase yields
+//! the spin-synchronised array the paper assumes.
+
+use afraid_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::cache::SegmentedCache;
+use crate::geometry::Chs;
+use crate::model::DiskModel;
+use crate::SECTOR_BYTES;
+
+/// Read or write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Transfer from media to host.
+    Read,
+    /// Transfer from host to media (write-through; no immediate report).
+    Write,
+}
+
+/// A request addressed to one disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskRequest {
+    /// Starting logical block address (sector number).
+    pub lba: u64,
+    /// Number of sectors to transfer (must be non-zero).
+    pub sectors: u64,
+    /// Transfer direction.
+    pub op: OpKind,
+}
+
+/// Aggregate per-disk statistics.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct DiskStats {
+    /// Completed read commands.
+    pub reads: u64,
+    /// Completed write commands.
+    pub writes: u64,
+    /// Total sectors transferred.
+    pub sectors: u64,
+    /// Total time spent seeking.
+    pub seek_time: SimDuration,
+    /// Total rotational latency.
+    pub rotation_time: SimDuration,
+    /// Total media transfer time.
+    pub transfer_time: SimDuration,
+    /// Total busy time (all service components).
+    pub busy_time: SimDuration,
+    /// Reads served from the on-drive cache.
+    pub cache_hits: u64,
+}
+
+/// One disk drive.
+pub struct Disk {
+    model: DiskModel,
+    cache: SegmentedCache,
+    /// Spindle phase offset; equal phases = spin-synchronised.
+    phase: SimDuration,
+    /// Arm position after the last serviced request.
+    cur_cyl: u32,
+    /// The disk is busy until this instant.
+    free_at: SimTime,
+    failed: bool,
+    stats: DiskStats,
+}
+
+impl Disk {
+    /// Creates a disk with the given model and spin phase, with the
+    /// on-drive cache disabled (the paper's configuration).
+    pub fn new(model: DiskModel, phase: SimDuration) -> Self {
+        Disk {
+            model,
+            cache: SegmentedCache::disabled(),
+            phase,
+            cur_cyl: 0,
+            free_at: SimTime::ZERO,
+            failed: false,
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// Enables the on-drive segmented cache.
+    pub fn with_cache(mut self, cache: SegmentedCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The disk's parameter set.
+    pub fn model(&self) -> &DiskModel {
+        &self.model
+    }
+
+    /// Capacity in sectors.
+    pub fn capacity_sectors(&self) -> u64 {
+        self.model.geometry.capacity_sectors()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// The instant the disk next becomes idle.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// True if the disk is still working at `now`.
+    pub fn is_busy(&self, now: SimTime) -> bool {
+        self.free_at > now
+    }
+
+    /// Marks the disk failed; subsequent submissions panic, so callers
+    /// must check [`Disk::is_failed`] first (the array controller stops
+    /// routing I/O to failed disks).
+    pub fn fail(&mut self) {
+        self.failed = true;
+    }
+
+    /// Restores a replaced disk to service (used by rebuild tests).
+    pub fn replace(&mut self) {
+        self.failed = false;
+        self.cur_cyl = 0;
+        self.cache.clear();
+    }
+
+    /// True once [`Disk::fail`] has been called.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Submits a request at `now`. The disk starts it when it becomes
+    /// free and returns the absolute completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the disk has failed, the request is empty, or it runs
+    /// past the end of the disk.
+    pub fn submit(&mut self, now: SimTime, req: &DiskRequest) -> SimTime {
+        assert!(!self.failed, "I/O submitted to failed disk");
+        assert!(req.sectors > 0, "empty request");
+        assert!(
+            req.lba + req.sectors <= self.capacity_sectors(),
+            "request [{}, {}) beyond capacity {}",
+            req.lba,
+            req.lba + req.sectors,
+            self.capacity_sectors()
+        );
+        let start = now.max(self.free_at);
+        let service = self.service_time(start, req);
+        self.free_at = start + service;
+        self.stats.busy_time += service;
+        self.stats.sectors += req.sectors;
+        match req.op {
+            OpKind::Read => self.stats.reads += 1,
+            OpKind::Write => self.stats.writes += 1,
+        }
+        self.free_at
+    }
+
+    /// Computes the service time of `req` starting at `start`, updating
+    /// arm position and cache state.
+    fn service_time(&mut self, start: SimTime, req: &DiskRequest) -> SimDuration {
+        match req.op {
+            OpKind::Read => {
+                if self.cache.hit(req.lba, req.sectors) {
+                    self.stats.cache_hits += 1;
+                    return self.bus_time(req.sectors) + self.model.read_overhead;
+                }
+            }
+            OpKind::Write => {
+                self.cache.invalidate(req.lba, req.sectors);
+            }
+        }
+
+        let overhead = match req.op {
+            OpKind::Read => self.model.read_overhead,
+            OpKind::Write => self.model.write_overhead,
+        };
+        let target = self.model.geometry.locate(req.lba);
+
+        // Seek.
+        let distance = self.cur_cyl.abs_diff(target.cyl);
+        let seek = self.model.seek.time(distance);
+        self.stats.seek_time += seek;
+
+        // Rotational latency: wait for the first target sector's
+        // physical slot to rotate under the head.
+        let at = start + overhead + seek;
+        let spt = self.model.geometry.sectors_per_track(target.cyl);
+        let slot = self.physical_slot(target, spt);
+        let rot = self.rotation_wait(at, slot, spt);
+        self.stats.rotation_time += rot;
+
+        // Media transfer, walking track boundaries. Track and cylinder
+        // skew are assumed to exactly hide switch realignment, so each
+        // boundary costs the switch time and transfer then continues.
+        let transfer = self.transfer_time(target, req.sectors);
+        self.stats.transfer_time += transfer;
+
+        // The arm finishes at the last cylinder touched.
+        let end = self.model.geometry.locate(req.lba + req.sectors - 1);
+        self.cur_cyl = end.cyl;
+
+        if req.op == OpKind::Read {
+            self.cache.insert(req.lba, req.sectors);
+        }
+
+        overhead + seek + rot + transfer
+    }
+
+    /// The physical rotational slot of a logical sector, applying track
+    /// and cylinder skew.
+    fn physical_slot(&self, chs: Chs, spt: u32) -> u32 {
+        let skew = u64::from(chs.head) * u64::from(self.model.track_skew)
+            + u64::from(chs.cyl) * u64::from(self.model.cylinder_skew);
+        ((u64::from(chs.sector) + skew) % u64::from(spt)) as u32
+    }
+
+    /// Time until rotational slot `slot` (of `spt` slots) is under the
+    /// head, given absolute time `at` and the spin phase.
+    fn rotation_wait(&self, at: SimTime, slot: u32, spt: u32) -> SimDuration {
+        let rev_ns = self.model.revolution().as_nanos();
+        let angle_ns = (at.as_nanos() + self.phase.as_nanos()) % rev_ns;
+        // Start of the target slot, in nanoseconds around the track.
+        let slot_ns = u128::from(slot) * u128::from(rev_ns) / u128::from(spt);
+        let slot_ns = slot_ns as u64;
+        let wait = if slot_ns >= angle_ns {
+            slot_ns - angle_ns
+        } else {
+            rev_ns - (angle_ns - slot_ns)
+        };
+        SimDuration::from_nanos(wait)
+    }
+
+    /// Pure media transfer time for `sectors` starting at `chs`,
+    /// including head/cylinder switch costs at track boundaries.
+    fn transfer_time(&self, mut chs: Chs, mut sectors: u64) -> SimDuration {
+        let geom = &self.model.geometry;
+        let mut total = SimDuration::ZERO;
+        loop {
+            let spt = geom.sectors_per_track(chs.cyl);
+            let on_track = u64::from(spt - chs.sector).min(sectors);
+            total += self.model.sector_time(spt) * on_track;
+            sectors -= on_track;
+            if sectors == 0 {
+                return total;
+            }
+            // Cross to the next track.
+            chs.sector = 0;
+            if chs.head + 1 < geom.heads() {
+                chs.head += 1;
+                total += self.model.head_switch;
+            } else {
+                chs.head = 0;
+                chs.cyl += 1;
+                total += self.model.seek.track_to_track();
+            }
+        }
+    }
+
+    /// Bus transfer time for a cache hit.
+    fn bus_time(&self, sectors: u64) -> SimDuration {
+        SimDuration::from_secs_f64(sectors as f64 * SECTOR_BYTES as f64 / self.model.bus_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_disk() -> Disk {
+        Disk::new(DiskModel::test_disk(), SimDuration::ZERO)
+    }
+
+    fn read(lba: u64, sectors: u64) -> DiskRequest {
+        DiskRequest {
+            lba,
+            sectors,
+            op: OpKind::Read,
+        }
+    }
+
+    fn write(lba: u64, sectors: u64) -> DiskRequest {
+        DiskRequest {
+            lba,
+            sectors,
+            op: OpKind::Write,
+        }
+    }
+
+    #[test]
+    fn first_sector_at_time_zero_is_free_of_seek_and_rotation() {
+        // Head starts at cylinder 0; LBA 0's slot is 0; at t=0 the
+        // spindle is at angle 0. Only the transfer remains.
+        let mut d = test_disk();
+        let done = d.submit(SimTime::ZERO, &read(0, 1));
+        assert_eq!(done, SimTime::ZERO + SimDuration::from_micros(100));
+        assert_eq!(d.stats().seek_time, SimDuration::ZERO);
+        assert_eq!(d.stats().rotation_time, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn rotational_latency_waits_for_slot() {
+        // Sector 50 of track 0 sits half a revolution away: 5 ms wait
+        // plus 100 us transfer.
+        let mut d = test_disk();
+        let done = d.submit(SimTime::ZERO, &read(50, 1));
+        assert_eq!(
+            done,
+            SimTime::ZERO + SimDuration::from_millis(5) + SimDuration::from_micros(100)
+        );
+    }
+
+    #[test]
+    fn rotation_wraps_around() {
+        // At t = 6 ms the spindle is at slot 60; targeting slot 50
+        // requires waiting 9 ms (90 slots).
+        let mut d = test_disk();
+        let t0 = SimTime::from_millis(6);
+        let done = d.submit(t0, &read(50, 1));
+        assert_eq!(
+            done,
+            t0 + SimDuration::from_millis(9) + SimDuration::from_micros(100)
+        );
+    }
+
+    #[test]
+    fn seek_adds_curve_time() {
+        let mut d = test_disk();
+        // Cylinder 10 = LBA 4000. Seek from 0 to 10 = 2.0 ms (the
+        // calibration point), landing at spindle angle 2.0 ms = slot 20;
+        // target slot 0 needs an 8 ms wait, then 100 us transfer.
+        let done = d.submit(SimTime::ZERO, &read(4000, 1));
+        let expect = SimDuration::from_millis(2)
+            + SimDuration::from_millis(8)
+            + SimDuration::from_micros(100);
+        assert_eq!(done, SimTime::ZERO + expect);
+        assert_eq!(d.stats().seek_time, SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn sequential_submission_is_fcfs() {
+        let mut d = test_disk();
+        let first = d.submit(SimTime::ZERO, &read(0, 10));
+        let second = d.submit(SimTime::ZERO, &read(10, 10));
+        assert!(second > first);
+        assert!(d.is_busy(SimTime::ZERO));
+        assert!(!d.is_busy(second));
+        assert_eq!(d.free_at(), second);
+    }
+
+    #[test]
+    fn back_to_back_sequential_reads_stream() {
+        // Reading the next sectors right where the head sits should
+        // cost pure transfer time: no seek, no rotation gap.
+        let mut d = test_disk();
+        let t1 = d.submit(SimTime::ZERO, &read(0, 10));
+        let rot_before = d.stats().rotation_time;
+        let t2 = d.submit(t1, &read(10, 10));
+        assert_eq!(t2 - t1, SimDuration::from_micros(1000));
+        assert_eq!(d.stats().rotation_time, rot_before);
+    }
+
+    #[test]
+    fn track_crossing_adds_head_switch() {
+        let mut d = test_disk();
+        // 150 sectors from LBA 0: 100 on head 0, head switch (500 us),
+        // 50 on head 1. Skew is zero on the test disk, so the switch is
+        // a pure cost.
+        let done = d.submit(SimTime::ZERO, &read(0, 150));
+        let expect = SimDuration::from_micros(100) * 150 + SimDuration::from_micros(500);
+        assert_eq!(done, SimTime::ZERO + expect);
+    }
+
+    #[test]
+    fn cylinder_crossing_adds_track_to_track_seek() {
+        let mut d = test_disk();
+        // A full cylinder is 400 sectors; read 410 starting at 0:
+        // 3 head switches within cylinder 0 plus one cylinder switch.
+        let done = d.submit(SimTime::ZERO, &read(0, 410));
+        let expect = SimDuration::from_micros(100) * 410
+            + SimDuration::from_micros(500) * 3
+            + SimDuration::from_millis(1); // track-to-track = 1 ms calibration
+        assert_eq!(done, SimTime::ZERO + expect);
+    }
+
+    #[test]
+    fn writes_cost_at_least_as_much_as_reads() {
+        let m = DiskModel::hp_c3325();
+        let mut dr = Disk::new(m.clone(), SimDuration::ZERO);
+        let mut dw = Disk::new(m, SimDuration::ZERO);
+        let tr = dr.submit(SimTime::ZERO, &read(5000, 16));
+        let tw = dw.submit(SimTime::ZERO, &write(5000, 16));
+        assert!(tw >= tr, "write {tw} < read {tr}");
+    }
+
+    #[test]
+    fn arm_position_persists_between_requests() {
+        let mut d = test_disk();
+        let t1 = d.submit(SimTime::ZERO, &read(4000, 1)); // cylinder 10
+        d.submit(t1, &read(4000, 1)); // same cylinder: no seek
+        assert_eq!(d.stats().seek_time, SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn cache_hit_skips_mechanics() {
+        let mut d = Disk::new(DiskModel::test_disk(), SimDuration::ZERO)
+            .with_cache(SegmentedCache::new(4, 256));
+        let t1 = d.submit(SimTime::ZERO, &read(50, 8));
+        let t2 = d.submit(t1, &read(50, 8));
+        // Bus time for 8 sectors at 10 MB/s = 409.6 us, well under the
+        // mechanical time.
+        assert!(t2 - t1 < SimDuration::from_millis(1));
+        assert_eq!(d.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn write_invalidates_cache() {
+        let mut d = Disk::new(DiskModel::test_disk(), SimDuration::ZERO)
+            .with_cache(SegmentedCache::new(4, 256));
+        let t1 = d.submit(SimTime::ZERO, &read(50, 8));
+        let t2 = d.submit(t1, &write(52, 2));
+        let t3 = d.submit(t2, &read(50, 8));
+        assert_eq!(d.stats().cache_hits, 0);
+        assert!(t3 - t2 > SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn spin_phase_shifts_rotation() {
+        let mut a = Disk::new(DiskModel::test_disk(), SimDuration::ZERO);
+        let mut b = Disk::new(DiskModel::test_disk(), SimDuration::from_millis(5));
+        let ta = a.submit(SimTime::ZERO, &read(0, 1));
+        let tb = b.submit(SimTime::ZERO, &read(0, 1));
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn spin_synchronised_disks_agree() {
+        let mut a = Disk::new(DiskModel::test_disk(), SimDuration::ZERO);
+        let mut b = Disk::new(DiskModel::test_disk(), SimDuration::ZERO);
+        let ta = a.submit(SimTime::from_millis(3), &read(70, 4));
+        let tb = b.submit(SimTime::from_millis(3), &read(70, 4));
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = test_disk();
+        let t1 = d.submit(SimTime::ZERO, &read(0, 4));
+        d.submit(t1, &write(4000, 4));
+        let s = d.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.sectors, 8);
+        assert!(s.busy_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed disk")]
+    fn failed_disk_rejects_io() {
+        let mut d = test_disk();
+        d.fail();
+        let _ = d.submit(SimTime::ZERO, &read(0, 1));
+    }
+
+    #[test]
+    fn replace_restores_service() {
+        let mut d = test_disk();
+        d.fail();
+        assert!(d.is_failed());
+        d.replace();
+        assert!(!d.is_failed());
+        let _ = d.submit(SimTime::ZERO, &read(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn out_of_range_request_rejected() {
+        let mut d = test_disk();
+        let cap = d.capacity_sectors();
+        let _ = d.submit(SimTime::ZERO, &read(cap - 1, 2));
+    }
+
+    #[test]
+    fn c3325_small_read_service_time_plausible() {
+        // A random 8 KB read on the C3325 should land in the 10-30 ms
+        // band (overhead + avg seek ~10ms + avg rotation ~5.5ms +
+        // ~1.5ms transfer).
+        let mut d = Disk::new(DiskModel::hp_c3325(), SimDuration::ZERO);
+        let mut total = SimDuration::ZERO;
+        let mut t = SimTime::ZERO;
+        let mut rng = afraid_sim::rng::SplitMix64::new(42);
+        let cap = d.capacity_sectors();
+        for _ in 0..200 {
+            let lba = rng.next_below(cap - 16);
+            let begin = t + SimDuration::from_millis(50); // idle gaps
+            let done = d.submit(begin, &read(lba, 16));
+            total += done - begin;
+            t = done;
+        }
+        let mean_ms = total.as_millis_f64() / 200.0;
+        assert!((10.0..30.0).contains(&mean_ms), "mean service {mean_ms} ms");
+    }
+}

@@ -1,0 +1,44 @@
+//! Calibrated disk drive model in the style of Ruemmler & Wilkes,
+//! *An introduction to disk drive modeling* (IEEE Computer, 1994).
+//!
+//! The AFRAID paper drove its Pantheon simulation with "calibrated disk
+//! models" of the HP C3325 (2 GB, 3.5", 5400 RPM). This crate rebuilds
+//! that model class from the published description:
+//!
+//! * **Zoned geometry** — outer zones hold more sectors per track, so
+//!   transfer rate falls from ~5.5 MB/s at the rim to ~3.7 MB/s at the
+//!   hub ([`geometry`]).
+//! * **Seek curve** — square-root-shaped for short seeks (arm
+//!   acceleration-limited), linear for long seeks (coast-limited),
+//!   with a separate single-cylinder settle time ([`seek`]).
+//! * **Rotational position** — the head's angular position is a pure
+//!   function of simulated time, so rotational latency is computed
+//!   exactly, and spin-synchronised arrays fall out for free by giving
+//!   every disk the same phase ([`disk`]).
+//! * **Skewed layout** — track and cylinder skew hide head-switch and
+//!   track-to-track-seek times during sequential transfers.
+//! * **On-drive cache** — a small segmented read cache with optional
+//!   read-ahead ([`cache`]). The AFRAID experiments run with it
+//!   disabled, as the paper deliberately minimised cache effects.
+//! * **Request schedulers** — FCFS, CLOOK, SSTF and SCAN ([`sched`]);
+//!   the paper uses CLOOK in the host driver and FCFS at the back end.
+//!
+//! The model is deterministic: a request's service time depends only on
+//! the disk state and the simulated clock.
+
+pub mod cache;
+pub mod disk;
+pub mod geometry;
+pub mod model;
+pub mod sched;
+pub mod seek;
+
+pub use cache::SegmentedCache;
+pub use disk::{Disk, DiskRequest, DiskStats, OpKind};
+pub use geometry::{Chs, Geometry, Zone};
+pub use model::DiskModel;
+pub use sched::{Policy, Scheduler};
+pub use seek::SeekProfile;
+
+/// Bytes per sector, fixed at the 512-byte standard of the era.
+pub const SECTOR_BYTES: u64 = 512;

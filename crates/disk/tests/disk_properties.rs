@@ -1,0 +1,151 @@
+//! Property-based tests of the disk model: physical plausibility
+//! bounds that must hold for *any* request sequence.
+
+use afraid_disk::disk::{Disk, DiskRequest, OpKind};
+use afraid_disk::geometry::{Geometry, Zone};
+use afraid_disk::model::DiskModel;
+use afraid_disk::seek::SeekProfile;
+use afraid_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn models() -> impl Strategy<Value = DiskModel> {
+    prop_oneof![
+        Just(DiskModel::hp_c3325()),
+        Just(DiskModel::hp_c2247()),
+        Just(DiskModel::barracuda_7200()),
+        Just(DiskModel::test_disk()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Service time is bounded below by the pure media transfer time
+    /// and above by overhead + full stroke + one revolution + transfer
+    /// + per-track switch costs.
+    #[test]
+    fn service_time_within_physical_bounds(
+        model in models(),
+        reqs in prop::collection::vec((0.0f64..1.0, 1u64..256, any::<bool>()), 1..40),
+    ) {
+        let mut disk = Disk::new(model.clone(), SimDuration::ZERO);
+        let cap = disk.capacity_sectors();
+        let mut now = SimTime::ZERO;
+        for (frac, sectors, is_write) in reqs {
+            let lba = ((cap - sectors) as f64 * frac) as u64;
+            let op = if is_write { OpKind::Write } else { OpKind::Read };
+            let before = now.max(disk.free_at());
+            let done = disk.submit(now, &DiskRequest { lba, sectors, op });
+            let service = done.since(before);
+
+            // Lower bound: media transfer of all sectors at the
+            // fastest (outer-zone) rate.
+            let min_spt = model.geometry.zones().iter().map(|z| z.sectors_per_track).max().unwrap();
+            let lower = model.sector_time(min_spt) * sectors;
+            prop_assert!(service >= lower, "service {service} < transfer floor {lower}");
+
+            // Upper bound: worst overhead + full-stroke seek + one
+            // revolution + transfer at the slowest rate + a switch per
+            // track crossed.
+            let max_cyl = model.geometry.cylinders();
+            let slow_spt = model.geometry.zones().iter().map(|z| z.sectors_per_track).min().unwrap();
+            let tracks = sectors / u64::from(slow_spt) + 2;
+            let upper = model.write_overhead
+                + model.seek.time(max_cyl - 1)
+                + model.revolution()
+                + model.sector_time(slow_spt) * sectors
+                + (model.head_switch.max(model.seek.track_to_track())) * tracks;
+            prop_assert!(service <= upper, "service {service} > ceiling {upper}");
+
+            now = done;
+        }
+    }
+
+    /// The disk never travels back in time: completions are
+    /// monotonically non-decreasing in submission order.
+    #[test]
+    fn completions_monotone(
+        model in models(),
+        reqs in prop::collection::vec((0.0f64..1.0, 1u64..64), 2..50),
+    ) {
+        let mut disk = Disk::new(model, SimDuration::ZERO);
+        let cap = disk.capacity_sectors();
+        let mut last = SimTime::ZERO;
+        for (frac, sectors) in reqs {
+            let lba = ((cap - sectors) as f64 * frac) as u64;
+            let done = disk.submit(
+                SimTime::ZERO,
+                &DiskRequest { lba, sectors, op: OpKind::Read },
+            );
+            prop_assert!(done >= last);
+            last = done;
+        }
+    }
+
+    /// Busy time never exceeds wall time, and stats add up.
+    #[test]
+    fn stats_are_consistent(
+        reqs in prop::collection::vec((0.0f64..1.0, 1u64..64, any::<bool>()), 1..50),
+    ) {
+        let mut disk = Disk::new(DiskModel::hp_c3325(), SimDuration::ZERO);
+        let cap = disk.capacity_sectors();
+        let mut expected_sectors = 0u64;
+        for (frac, sectors, is_write) in &reqs {
+            let lba = ((cap - sectors) as f64 * frac) as u64;
+            let op = if *is_write { OpKind::Write } else { OpKind::Read };
+            disk.submit(SimTime::ZERO, &DiskRequest { lba, sectors: *sectors, op });
+            expected_sectors += sectors;
+        }
+        let s = disk.stats();
+        prop_assert_eq!(s.reads + s.writes, reqs.len() as u64);
+        prop_assert_eq!(s.sectors, expected_sectors);
+        prop_assert!(s.busy_time <= disk.free_at().since(SimTime::ZERO));
+        prop_assert!(s.seek_time + s.rotation_time + s.transfer_time <= s.busy_time);
+    }
+
+    /// Geometry round-trip: every LBA maps to a CHS that maps back.
+    #[test]
+    fn geometry_roundtrip(
+        heads in 1u32..16,
+        zones in prop::collection::vec((1u32..50, 8u32..150), 1..6),
+        probe in 0.0f64..1.0,
+    ) {
+        let g = Geometry::new(
+            heads,
+            zones
+                .into_iter()
+                .map(|(cylinders, sectors_per_track)| Zone { cylinders, sectors_per_track })
+                .collect(),
+        );
+        let lba = (g.capacity_sectors() as f64 * probe) as u64;
+        let lba = lba.min(g.capacity_sectors() - 1);
+        prop_assert_eq!(g.lba_of(g.locate(lba)), lba);
+    }
+
+    /// The seek curve is monotone non-decreasing for any calibration.
+    #[test]
+    fn seek_monotone(
+        single in 0.5f64..4.0,
+        crossover in 10u32..1000,
+        mid_extra in 0.5f64..15.0,
+        max_extra in 0.5f64..20.0,
+        span in 1u32..8000,
+    ) {
+        let max_cyl = crossover + span;
+        let mid = single + mid_extra;
+        let profile = SeekProfile::from_calibration(
+            single,
+            crossover,
+            mid,
+            max_cyl,
+            mid + max_extra,
+        );
+        let mut last = SimDuration::ZERO;
+        let step = (max_cyl / 97).max(1);
+        for d in (0..=max_cyl).step_by(step as usize) {
+            let t = profile.time(d);
+            prop_assert!(t >= last, "seek curve decreased at distance {d}");
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Deterministic event queue with cancellation.
+//!
+//! The queue orders events by `(time, insertion sequence)`: events
+//! scheduled for the same instant are delivered in the order they were
+//! scheduled. This tie-break is what makes whole-simulation runs
+//! reproducible — a plain binary heap over time alone would deliver
+//! same-time events in an unspecified order.
+//!
+//! Cancellation is lazy: [`EventQueue::cancel`] records the event id in a
+//! tombstone set and [`EventQueue::pop`] silently discards tombstoned
+//! entries. This keeps both operations `O(log n)` amortised and avoids
+//! rebuilding the heap, at the cost of a little dead weight until the
+//! cancelled event's time arrives. Timers that are re-armed frequently
+//! (the idle detector) rely on this being cheap.
+
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying a scheduled event, used to cancel it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+/// Heap entry: ordered by time, then by insertion sequence.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// # Examples
+///
+/// ```
+/// use afraid_sim::queue::EventQueue;
+/// use afraid_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// let id = q.schedule(SimTime::from_millis(5), "timer");
+/// q.schedule(SimTime::from_millis(1), "io");
+/// q.cancel(id);
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(1), "io")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    /// Number of live (non-tombstoned) entries.
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            live: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time` and returns a handle that can
+    /// cancel it. Events at equal times fire in scheduling order.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+        self.live += 1;
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired or been cancelled.
+    /// Cancelling an already-delivered id is a no-op returning `false`.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // An id is pending iff it was issued and is not yet delivered;
+        // `cancelled` holds tombstones for pending entries only.
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        if self.pending_contains(id.0) && self.cancelled.insert(id.0) {
+            self.live -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest live event, skipping tombstones.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.live -= 1;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// The time of the earliest live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.drain_tombstones();
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of live (not cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Pops tombstoned entries off the top of the heap so `peek` sees a
+    /// live entry.
+    fn drain_tombstones(&mut self) {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Linear check used only to give `cancel` exact semantics. The heap
+    /// is scanned at most once per cancel; cancels are rare relative to
+    /// schedules in every workload we model (only timers are cancelled).
+    fn pending_contains(&self, seq: u64) -> bool {
+        self.heap.iter().any(|Reverse(e)| e.seq == seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(3), 3);
+        q.schedule(SimTime::from_millis(1), 1);
+        q.schedule(SimTime::from_millis(2), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), "a");
+        q.schedule(SimTime::from_millis(2), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(2), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_pop_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), "a");
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(a));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn double_cancel_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), "a");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_noop() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), "a");
+        q.schedule(SimTime::from_millis(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
+    }
+
+    #[test]
+    fn peek_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn len_tracks_live_entries() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10)
+            .map(|i| q.schedule(SimTime::from_millis(i), i))
+            .collect();
+        assert_eq!(q.len(), 10);
+        q.cancel(ids[4]);
+        q.cancel(ids[7]);
+        assert_eq!(q.len(), 8);
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, 8);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        let mut q = EventQueue::new();
+        let mut now = SimTime::ZERO;
+        let step = SimDuration::from_millis(1);
+        q.schedule(now + step, 0u32);
+        let mut delivered = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            now = t;
+            delivered.push(e);
+            if e < 5 {
+                // Each event schedules its successor, like a timer chain.
+                q.schedule(now + step, e + 1);
+            }
+        }
+        assert_eq!(delivered, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(now, SimTime::from_millis(6));
+    }
+}

@@ -1,0 +1,216 @@
+//! Seedable pseudo-random number generation.
+//!
+//! The simulation uses a single hand-rolled [`SplitMix64`] generator
+//! rather than an external RNG crate so that the exact output stream is
+//! pinned by this repository: results cannot silently change when a
+//! dependency revs its algorithm. SplitMix64 passes BigCrush, has a
+//! 2^64 period, and is more than adequate for workload synthesis (we are
+//! sampling service processes, not doing cryptography).
+
+/// A SplitMix64 pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use afraid_sim::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Any seed (including 0) is valid.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Derives an independent child generator; used to give each
+    /// workload stream its own substream without correlation.
+    pub fn fork(&mut self) -> SplitMix64 {
+        // Mixing the output through the finaliser decorrelates the child
+        // stream from the parent's subsequent outputs.
+        SplitMix64::new(self.next_u64() ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Returns the next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random bits scaled into [0,1) — the standard construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `f64` in `(0, 1]`, safe to pass to `ln()`.
+    pub fn next_f64_open(&mut self) -> f64 {
+        1.0 - self.next_f64()
+    }
+
+    /// Returns a uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire's multiply-shift rejection method: unbiased and fast.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniform integer in `[lo, hi)` .
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.next_below(hi - lo)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.next_f64() < p
+    }
+
+    /// Picks a uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot choose from empty slice");
+        &items[self.next_below(items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = SplitMix64::new(12345);
+        let mut b = SplitMix64::new(12345);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn known_answer() {
+        // Reference values for seed 0 from the canonical SplitMix64
+        // implementation (Steele, Lea & Flood).
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xe220a8397b1dcdaf);
+        assert_eq!(r.next_u64(), 0x6e789e6aa1b965f4);
+        assert_eq!(r.next_u64(), 0x06c45d188009454f);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.next_f64_open();
+            assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_half() {
+        let mut r = SplitMix64::new(99);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn next_below_in_range_and_roughly_uniform() {
+        let mut r = SplitMix64::new(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.next_below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn range_u64_bounds() {
+        let mut r = SplitMix64::new(5);
+        for _ in 0..1000 {
+            let x = r.range_u64(10, 20);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(8);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let mut parent = SplitMix64::new(42);
+        let mut child = parent.fork();
+        // The two streams should not be identical.
+        let p: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        let c: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
+        assert_ne!(p, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn choose_covers_all_items() {
+        let mut r = SplitMix64::new(11);
+        let items = ["a", "b", "c"];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(*r.choose(&items));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -1,0 +1,9 @@
+//! Trace generators.
+//!
+//! [`spatial`] decides *where* a request lands (sequential runs vs.
+//! Zipf-skewed hot regions); [`onoff`] decides *when* requests arrive
+//! (bursts separated by heavy-tailed idle gaps) and drives the spatial
+//! model to emit complete [`crate::record::Trace`]s.
+
+pub mod onoff;
+pub mod spatial;

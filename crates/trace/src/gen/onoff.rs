@@ -1,0 +1,185 @@
+//! Bursty ON/OFF arrival generator.
+//!
+//! \[Ruemmler93\]'s central observation — the one AFRAID is built on —
+//! is that real disk traffic is bursty: groups of closely spaced
+//! requests separated by comparatively long quiet gaps. The ON/OFF
+//! generator reproduces that structure directly:
+//!
+//! * A *burst* contains a geometrically distributed number of requests
+//!   with exponential intra-burst gaps.
+//! * Bursts are separated by *idle gaps* drawn from a two-phase
+//!   hyperexponential: most gaps are short (think sync bursts within
+//!   one user action), a minority are very long (the user went to
+//!   lunch). The long phase is what gives AFRAID its scrubbing time.
+
+use afraid_sim::dist::{Empirical, Exponential, Hyperexponential, Sample};
+use afraid_sim::rng::SplitMix64;
+use afraid_sim::time::{SimDuration, SimTime};
+
+use crate::gen::spatial::SpatialModel;
+use crate::record::{IoRecord, ReqKind, Trace};
+
+/// Parameters of the ON/OFF arrival process.
+#[derive(Clone, Debug)]
+pub struct OnOffGenerator {
+    /// Mean number of requests per burst (geometric distribution).
+    pub burst_len_mean: f64,
+    /// Mean gap between requests inside a burst.
+    pub intra_gap: Exponential,
+    /// Gap between bursts.
+    pub idle_gap: Hyperexponential,
+    /// Probability a request is a write.
+    pub write_prob: f64,
+    /// Request size distribution, in bytes (512-aligned values).
+    pub size_dist: Empirical,
+}
+
+impl OnOffGenerator {
+    /// Generates a trace named `name` over `duration`, drawing offsets
+    /// from `spatial` and randomness from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `write_prob` is out of range or `burst_len_mean < 1`.
+    pub fn generate(
+        &self,
+        name: &str,
+        capacity: u64,
+        duration: SimDuration,
+        mut spatial: SpatialModel,
+        rng: &mut SplitMix64,
+    ) -> Trace {
+        assert!(
+            (0.0..=1.0).contains(&self.write_prob),
+            "bad write probability"
+        );
+        assert!(
+            self.burst_len_mean >= 1.0,
+            "bursts need at least one request"
+        );
+        let mut trace = Trace::new(name, capacity);
+        let end = SimTime::ZERO + duration;
+        // Start inside an idle gap so the trace does not always open
+        // with a burst at t=0.
+        let mut t = SimTime::ZERO + SimDuration::from_secs_f64(self.idle_gap.sample(rng) / 1e3);
+        'outer: loop {
+            // One burst: geometric length with the configured mean.
+            let p_stop = 1.0 / self.burst_len_mean;
+            loop {
+                if t >= end {
+                    break 'outer;
+                }
+                let bytes = self.size_dist.sample(rng) as u64;
+                let kind = if rng.chance(self.write_prob) {
+                    ReqKind::Write
+                } else {
+                    ReqKind::Read
+                };
+                let offset = spatial.next_offset(rng, bytes);
+                trace.push(IoRecord {
+                    time: t,
+                    offset,
+                    bytes,
+                    kind,
+                });
+                if rng.chance(p_stop) {
+                    break;
+                }
+                t += SimDuration::from_secs_f64(self.intra_gap.sample(rng) / 1e3);
+            }
+            t += SimDuration::from_secs_f64(self.idle_gap.sample(rng) / 1e3);
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: u64 = 256 * 1024 * 1024;
+
+    fn gen() -> OnOffGenerator {
+        OnOffGenerator {
+            burst_len_mean: 8.0,
+            intra_gap: Exponential::with_mean(10.0), // ms
+            idle_gap: Hyperexponential::new(0.8, 200.0, 5_000.0), // ms
+            write_prob: 0.5,
+            size_dist: Empirical::new(&[(4096.0, 0.5), (8192.0, 0.5)]),
+        }
+    }
+
+    fn spatial() -> SpatialModel {
+        SpatialModel::new(CAP, 0.5, 0.2, 8, 1.0)
+    }
+
+    #[test]
+    fn produces_time_ordered_trace() {
+        let mut rng = SplitMix64::new(1);
+        let t = gen().generate("t", CAP, SimDuration::from_secs(120), spatial(), &mut rng);
+        assert!(t.len() > 100, "only {} requests", t.len());
+        for w in t.records.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        assert!(t.end_time() <= SimTime::ZERO + SimDuration::from_secs(120));
+    }
+
+    #[test]
+    fn respects_write_fraction() {
+        let mut rng = SplitMix64::new(2);
+        let t = gen().generate("t", CAP, SimDuration::from_secs(600), spatial(), &mut rng);
+        let wf = t.write_fraction();
+        assert!((0.4..0.6).contains(&wf), "write fraction {wf}");
+    }
+
+    #[test]
+    fn sizes_come_from_distribution() {
+        let mut rng = SplitMix64::new(3);
+        let t = gen().generate("t", CAP, SimDuration::from_secs(60), spatial(), &mut rng);
+        assert!(t.records.iter().all(|r| r.bytes == 4096 || r.bytes == 8192));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = SplitMix64::new(9);
+        let mut r2 = SplitMix64::new(9);
+        let t1 = gen().generate("t", CAP, SimDuration::from_secs(60), spatial(), &mut r1);
+        let t2 = gen().generate("t", CAP, SimDuration::from_secs(60), spatial(), &mut r2);
+        assert_eq!(t1.records, t2.records);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut r1 = SplitMix64::new(10);
+        let mut r2 = SplitMix64::new(11);
+        let t1 = gen().generate("t", CAP, SimDuration::from_secs(60), spatial(), &mut r1);
+        let t2 = gen().generate("t", CAP, SimDuration::from_secs(60), spatial(), &mut r2);
+        assert_ne!(t1.records, t2.records);
+    }
+
+    #[test]
+    fn bursty_structure_visible() {
+        // Inter-arrival times should be far more variable than a
+        // Poisson process: coefficient of variation well above 1.
+        let mut rng = SplitMix64::new(4);
+        let t = gen().generate("t", CAP, SimDuration::from_secs(600), spatial(), &mut rng);
+        let mut stats = afraid_sim::stats::OnlineStats::new();
+        for w in t.records.windows(2) {
+            stats.record(w[1].time.since(w[0].time).as_secs_f64());
+        }
+        let cov = stats.std_dev() / stats.mean();
+        assert!(
+            cov > 1.5,
+            "coefficient of variation {cov} too low for bursty traffic"
+        );
+    }
+
+    #[test]
+    fn write_prob_zero_yields_reads_only() {
+        let mut g = gen();
+        g.write_prob = 0.0;
+        let mut rng = SplitMix64::new(5);
+        let t = g.generate("t", CAP, SimDuration::from_secs(60), spatial(), &mut rng);
+        assert!(t.records.iter().all(|r| r.kind == ReqKind::Read));
+    }
+}

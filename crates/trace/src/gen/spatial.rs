@@ -1,0 +1,213 @@
+//! Spatial locality model.
+//!
+//! Disk traffic mixes sequential runs (file reads/writes, log appends)
+//! with skewed random access (metadata, database index pages). The
+//! model used here:
+//!
+//! * With probability `seq_prob`, the next request continues at the
+//!   byte following the previous one (a sequential run).
+//! * Otherwise it jumps: a hot region is drawn from a Zipf distribution
+//!   over `regions` equal slices of the footprint, then a uniformly
+//!   random aligned offset within that region.
+//!
+//! The *footprint* is the fraction of the array's logical space the
+//! workload ever touches — production systems rarely touch everything.
+
+use afraid_sim::dist::Zipf;
+use afraid_sim::rng::SplitMix64;
+
+/// Generates request offsets with tunable sequentiality and skew.
+#[derive(Clone, Debug)]
+pub struct SpatialModel {
+    capacity: u64,
+    footprint: u64,
+    seq_prob: f64,
+    zipf: Zipf,
+    regions: u64,
+    cursor: u64,
+}
+
+impl SpatialModel {
+    /// Creates a spatial model.
+    ///
+    /// * `capacity` — array logical capacity in bytes.
+    /// * `footprint_frac` — fraction of capacity the workload touches.
+    /// * `seq_prob` — probability a request continues the previous run.
+    /// * `regions` — number of hot-region slices.
+    /// * `zipf_s` — Zipf skew across regions (0 = uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty footprint or out-of-range probabilities.
+    pub fn new(
+        capacity: u64,
+        footprint_frac: f64,
+        seq_prob: f64,
+        regions: usize,
+        zipf_s: f64,
+    ) -> Self {
+        assert!(capacity >= 512, "capacity too small");
+        assert!(
+            (0.0..=1.0).contains(&footprint_frac) && footprint_frac > 0.0,
+            "bad footprint fraction {footprint_frac}"
+        );
+        assert!((0.0..=1.0).contains(&seq_prob), "bad seq probability");
+        assert!(regions > 0, "need at least one region");
+        // Footprint, sector-aligned, at least one sector.
+        let footprint = (((capacity as f64 * footprint_frac) as u64) / 512).max(1) * 512;
+        SpatialModel {
+            capacity,
+            footprint,
+            seq_prob,
+            zipf: Zipf::new(regions, zipf_s),
+            regions: regions as u64,
+            cursor: 0,
+        }
+    }
+
+    /// The byte footprint the model draws from.
+    pub fn footprint(&self) -> u64 {
+        self.footprint
+    }
+
+    /// Produces the next request's offset, given its length in bytes.
+    ///
+    /// The returned offset is sector-aligned and `offset + bytes` never
+    /// exceeds the capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero, unaligned, or larger than the
+    /// footprint.
+    pub fn next_offset(&mut self, rng: &mut SplitMix64, bytes: u64) -> u64 {
+        assert!(
+            bytes > 0 && bytes.is_multiple_of(512),
+            "bad request length {bytes}"
+        );
+        assert!(bytes <= self.footprint, "request larger than footprint");
+        let offset = if rng.chance(self.seq_prob) {
+            // Continue the run, wrapping at the footprint edge.
+            if self.cursor + bytes <= self.footprint {
+                self.cursor
+            } else {
+                0
+            }
+        } else {
+            let region = self.zipf.rank(rng) as u64;
+            // Keep region boundaries sector-aligned.
+            let region_len = (self.footprint / self.regions / 512 * 512).max(512);
+            let region_start = region_len * region;
+            let max_start = (region_start + region_len)
+                .min(self.footprint)
+                .saturating_sub(bytes);
+            if max_start <= region_start {
+                region_start.min(self.footprint - bytes)
+            } else {
+                let sectors = (max_start - region_start) / 512;
+                region_start + rng.next_below(sectors + 1) * 512
+            }
+        };
+        self.cursor = offset + bytes;
+        debug_assert!(offset % 512 == 0);
+        debug_assert!(offset + bytes <= self.capacity);
+        offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: u64 = 64 * 1024 * 1024;
+
+    #[test]
+    fn offsets_always_in_bounds_and_aligned() {
+        let mut m = SpatialModel::new(CAP, 0.5, 0.3, 16, 1.0);
+        let mut rng = SplitMix64::new(1);
+        for i in 0..10_000 {
+            let bytes = 512 * (1 + (i % 32));
+            let off = m.next_offset(&mut rng, bytes);
+            assert_eq!(off % 512, 0);
+            assert!(off + bytes <= CAP);
+            assert!(off + bytes <= m.footprint());
+        }
+    }
+
+    #[test]
+    fn fully_sequential_walks_forward() {
+        let mut m = SpatialModel::new(CAP, 1.0, 1.0, 1, 0.0);
+        let mut rng = SplitMix64::new(2);
+        let a = m.next_offset(&mut rng, 4096);
+        let b = m.next_offset(&mut rng, 4096);
+        let c = m.next_offset(&mut rng, 8192);
+        assert_eq!(b, a + 4096);
+        assert_eq!(c, b + 4096);
+    }
+
+    #[test]
+    fn sequential_wraps_at_footprint() {
+        let mut m = SpatialModel::new(1024 * 1024, 0.01, 1.0, 1, 0.0);
+        let mut rng = SplitMix64::new(3);
+        let fp = m.footprint();
+        let mut last = m.next_offset(&mut rng, 4096);
+        let mut wrapped = false;
+        for _ in 0..10 {
+            let off = m.next_offset(&mut rng, 4096);
+            if off < last {
+                assert_eq!(off, 0, "wrap must restart at zero");
+                wrapped = true;
+            }
+            assert!(off + 4096 <= fp);
+            last = off;
+        }
+        assert!(wrapped, "footprint of {fp} should force a wrap");
+    }
+
+    #[test]
+    fn skew_concentrates_traffic() {
+        let mut m = SpatialModel::new(CAP, 1.0, 0.0, 8, 1.5);
+        let mut rng = SplitMix64::new(4);
+        let region_len = m.footprint() / 8;
+        let mut counts = [0u32; 8];
+        for _ in 0..20_000 {
+            let off = m.next_offset(&mut rng, 512);
+            counts[(off / region_len).min(7) as usize] += 1;
+        }
+        assert!(counts[0] > counts[4] * 2, "zipf skew missing: {counts:?}");
+    }
+
+    #[test]
+    fn zero_skew_spreads_uniformly() {
+        let mut m = SpatialModel::new(CAP, 1.0, 0.0, 8, 0.0);
+        let mut rng = SplitMix64::new(5);
+        let region_len = m.footprint() / 8;
+        let mut counts = [0u32; 8];
+        for _ in 0..40_000 {
+            let off = m.next_offset(&mut rng, 512);
+            counts[(off / region_len).min(7) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((3_500..6_500).contains(&c), "bucket {c}");
+        }
+    }
+
+    #[test]
+    fn footprint_restricts_range() {
+        let mut m = SpatialModel::new(CAP, 0.1, 0.0, 4, 0.0);
+        let mut rng = SplitMix64::new(6);
+        let fp = m.footprint();
+        assert!(fp <= CAP / 10 + 512);
+        for _ in 0..5_000 {
+            let off = m.next_offset(&mut rng, 4096);
+            assert!(off + 4096 <= fp);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad request length")]
+    fn rejects_unaligned_length() {
+        let mut m = SpatialModel::new(CAP, 1.0, 0.0, 4, 0.0);
+        let mut rng = SplitMix64::new(7);
+        let _ = m.next_offset(&mut rng, 100);
+    }
+}

@@ -1,0 +1,69 @@
+//! Availability planner: pick how much availability you want, get the
+//! performance that remains — the paper's "smooth trade-off" as a
+//! tool.
+//!
+//! Give it a disk-related MTTDL target in hours (and optionally a
+//! workload name); it configures the `MTTDL_x` policy, replays the
+//! workload, and reports the achieved availability alongside the
+//! RAID 5 and pure-AFRAID endpoints.
+//!
+//! Run with:
+//! `cargo run --release --example availability_planner -- 1e8 att`
+
+use afraid::config::ArrayConfig;
+use afraid::driver::{run_trace, RunOptions};
+use afraid::policy::ParityPolicy;
+use afraid::report::availability;
+use afraid_sim::time::SimDuration;
+use afraid_trace::workloads::{WorkloadKind, WorkloadSpec};
+
+fn main() {
+    let target: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0e8);
+    let workload = std::env::args()
+        .nth(2)
+        .and_then(|s| WorkloadKind::from_name(&s))
+        .unwrap_or(WorkloadKind::Att);
+
+    let capacity = 7 * 1024 * 1024 * 1024;
+    let trace = WorkloadSpec::preset(workload).generate(capacity, SimDuration::from_secs(600), 42);
+    println!(
+        "planning for workload '{}' with disk-MTTDL target {target:.1e} hours",
+        workload.name()
+    );
+    println!();
+    println!(
+        "{:<22} {:>12} {:>14} {:>14} {:>10}",
+        "policy", "mean io ms", "MTTDL disk h", "MTTDL all h", "met?"
+    );
+
+    let plans = [
+        ("raid5 (max avail)".to_string(), ParityPolicy::AlwaysRaid5),
+        (
+            format!("mttdl_{target:.0e} (yours)"),
+            ParityPolicy::MttdlTarget {
+                target_hours: target,
+            },
+        ),
+        ("afraid (max perf)".to_string(), ParityPolicy::IdleOnly),
+    ];
+    for (name, policy) in plans {
+        let cfg = ArrayConfig::paper_default(policy);
+        let result = run_trace(&cfg, &trace, &RunOptions::default());
+        let avail = availability(&cfg, &result.metrics);
+        let met = if avail.mttdl_disk >= target * 0.95 {
+            "yes"
+        } else {
+            "NO"
+        };
+        println!(
+            "{:<22} {:>12.2} {:>14.2e} {:>14.2e} {:>10}",
+            name, result.metrics.mean_io_ms, avail.mttdl_disk, avail.mttdl_overall, met,
+        );
+    }
+    println!();
+    println!("The paper's acceptance test: the MTTDL_x policy's achieved disk-related");
+    println!("MTTDL 'was never more than 5% below its target, and usually far exceeded it'.");
+}

@@ -1,0 +1,58 @@
+//! Quickstart: simulate the paper's 5-disk HP C3325 array under a
+//! bursty file-server workload and compare RAID 0, AFRAID, and RAID 5
+//! on both performance and availability.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use afraid::config::ArrayConfig;
+use afraid::driver::{run_trace, RunOptions};
+use afraid::policy::ParityPolicy;
+use afraid::report::availability;
+use afraid_sim::time::SimDuration;
+use afraid_trace::workloads::{WorkloadKind, WorkloadSpec};
+
+fn main() {
+    // 1. Synthesise a bursty workload (the `snake` file-server preset)
+    //    against 7 GB of array space.
+    let capacity = 7 * 1024 * 1024 * 1024;
+    let trace = WorkloadSpec::preset(WorkloadKind::Snake).generate(
+        capacity,
+        SimDuration::from_secs(300),
+        42,
+    );
+    println!(
+        "trace: {} requests over {:.0}s, {:.0}% writes",
+        trace.len(),
+        trace.span().as_secs_f64(),
+        trace.write_fraction() * 100.0
+    );
+    println!();
+
+    // 2. Replay it through each design. RAID 0 is AFRAID that never
+    //    rebuilds parity; RAID 5 is AFRAID that never defers it.
+    println!(
+        "{:<8} {:>12} {:>10} {:>12} {:>14} {:>14}",
+        "design", "mean io ms", "p95 ms", "unprot %", "MTTDL disk h", "MTTDL all h"
+    );
+    for (name, policy) in [
+        ("raid0", ParityPolicy::NeverRebuild),
+        ("afraid", ParityPolicy::IdleOnly),
+        ("raid5", ParityPolicy::AlwaysRaid5),
+    ] {
+        let cfg = ArrayConfig::paper_default(policy);
+        let result = run_trace(&cfg, &trace, &RunOptions::default());
+        let avail = availability(&cfg, &result.metrics);
+        println!(
+            "{:<8} {:>12.2} {:>10.2} {:>11.1}% {:>14.2e} {:>14.2e}",
+            name,
+            result.metrics.mean_io_ms,
+            result.metrics.p95_io_ms,
+            result.metrics.frac_unprotected * 100.0,
+            avail.mttdl_disk,
+            avail.mttdl_overall,
+        );
+    }
+    println!();
+    println!("AFRAID matches RAID 0 performance while staying redundant almost all");
+    println!("the time; its overall MTTDL is support-component-limited, like RAID 5's.");
+}

@@ -1,0 +1,261 @@
+//! `afraid-cli` — run AFRAID simulations from the command line.
+//!
+//! ```text
+//! afraid-cli run --workload snake --policy afraid --secs 600
+//! afraid-cli run --workload att --policy mttdl:1e8 --fail-disk 2@300 --degraded
+//! afraid-cli workloads
+//! afraid-cli policies
+//! ```
+
+use afraid::config::ArrayConfig;
+use afraid::driver::{run_trace, RunOptions};
+use afraid::policy::ParityPolicy;
+use afraid::report::availability;
+use afraid_sim::time::{SimDuration, SimTime};
+use afraid_trace::workloads::{WorkloadKind, WorkloadSpec};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+afraid-cli — AFRAID array simulator (Savage & Wilkes, USENIX 1996)
+
+USAGE:
+    afraid-cli run [OPTIONS]     replay a synthetic workload
+    afraid-cli workloads         list workload presets
+    afraid-cli policies          list parity policies
+
+RUN OPTIONS:
+    --workload <name>     workload preset (default: snake)
+    --policy <spec>       raid0 | afraid | raid5 | mttdl:<hours> |
+                          conservative:<bytes> (default: afraid)
+    --secs <n>            simulated trace duration (default: 600)
+    --seed <n>            workload seed (default: 42)
+    --disks <n>           spindles in the array (default: 5)
+    --fail-disk <d>@<s>   fail disk d at s seconds
+    --fail-nvram <s>      fail the marking memory at s seconds
+    --degraded            keep running after the disk failure
+    --spare <s>           install a spare s seconds after the failure
+    --json                emit the full result as JSON
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("workloads") => {
+            for kind in WorkloadKind::all() {
+                let spec = WorkloadSpec::preset(kind);
+                println!(
+                    "{:<11} ~{:>5.1} req/s, {:>2.0}% writes  {}",
+                    spec.name,
+                    spec.offered_ios_per_sec(),
+                    spec.write_prob * 100.0,
+                    spec.description
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("policies") => {
+            println!("raid0                unprotected striping (AFRAID that never scrubs)");
+            println!("afraid               baseline AFRAID: defer parity to idle time");
+            println!("raid5                traditional always-consistent RAID 5");
+            println!("mttdl:<hours>        keep achieved disk MTTDL above the target");
+            println!("conservative:<bytes> start as RAID 5, defer once bursts fit the bound");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_policy(s: &str) -> Option<ParityPolicy> {
+    match s {
+        "raid0" => Some(ParityPolicy::NeverRebuild),
+        "afraid" => Some(ParityPolicy::IdleOnly),
+        "raid5" => Some(ParityPolicy::AlwaysRaid5),
+        _ => {
+            if let Some(h) = s.strip_prefix("mttdl:") {
+                return h
+                    .parse()
+                    .ok()
+                    .map(|target_hours| ParityPolicy::MttdlTarget { target_hours });
+            }
+            if let Some(b) = s.strip_prefix("conservative:") {
+                return b
+                    .parse()
+                    .ok()
+                    .map(|lag_bound_bytes| ParityPolicy::Conservative { lag_bound_bytes });
+            }
+            None
+        }
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut workload = WorkloadKind::Snake;
+    let mut policy = ParityPolicy::IdleOnly;
+    let mut secs = 600u64;
+    let mut seed = 42u64;
+    let mut disks = 5u32;
+    let mut opts = RunOptions::default();
+    let mut json = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> Option<String> {
+            let v = it.next().cloned();
+            if v.is_none() {
+                eprintln!("missing value for {what}");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--workload" => {
+                let Some(v) = value("--workload") else {
+                    return ExitCode::FAILURE;
+                };
+                match WorkloadKind::from_name(&v) {
+                    Some(k) => workload = k,
+                    None => {
+                        eprintln!("unknown workload '{v}' (see `afraid-cli workloads`)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--policy" => {
+                let Some(v) = value("--policy") else {
+                    return ExitCode::FAILURE;
+                };
+                match parse_policy(&v) {
+                    Some(p) => policy = p,
+                    None => {
+                        eprintln!("unknown policy '{v}' (see `afraid-cli policies`)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--secs" => match value("--secs").and_then(|v| v.parse().ok()) {
+                Some(v) => secs = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--seed" => match value("--seed").and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--disks" => match value("--disks").and_then(|v| v.parse().ok()) {
+                Some(v) => disks = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--fail-disk" => {
+                let Some(v) = value("--fail-disk") else {
+                    return ExitCode::FAILURE;
+                };
+                let Some((d, s)) = v.split_once('@') else {
+                    eprintln!("--fail-disk wants <disk>@<seconds>, got '{v}'");
+                    return ExitCode::FAILURE;
+                };
+                match (d.parse(), s.parse::<f64>()) {
+                    (Ok(d), Ok(s)) => {
+                        opts.fail_disk = Some((d, SimTime::from_secs_f64(s)));
+                    }
+                    _ => {
+                        eprintln!("--fail-disk wants <disk>@<seconds>, got '{v}'");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--fail-nvram" => match value("--fail-nvram").and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) => opts.fail_nvram = Some(SimTime::from_secs_f64(s)),
+                None => return ExitCode::FAILURE,
+            },
+            "--degraded" => opts.continue_degraded = true,
+            "--spare" => match value("--spare").and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) => opts.spare_delay = Some(SimDuration::from_secs_f64(s)),
+                None => return ExitCode::FAILURE,
+            },
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown option '{other}'");
+                eprint!("{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut cfg = ArrayConfig::paper_default(policy);
+    cfg.disks = disks;
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    // Trace capacity: ~90% of the array's usable space.
+    let unit_sectors = cfg.stripe_unit_bytes / 512;
+    let stripes = cfg.disk_model.geometry.capacity_sectors() / unit_sectors;
+    let capacity = stripes * u64::from(cfg.n_data()) * cfg.stripe_unit_bytes * 9 / 10;
+    let spec = WorkloadSpec::preset(workload);
+    let trace = spec.generate(capacity, SimDuration::from_secs(secs), seed);
+
+    let result = run_trace(&cfg, &trace, &opts);
+    if json {
+        match serde_json::to_string_pretty(&result) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("serialisation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let m = &result.metrics;
+    println!(
+        "workload     {} ({} requests over {:.0}s, seed {seed})",
+        spec.name, m.requests, secs
+    );
+    println!(
+        "policy       {policy:?} on {disks} x {}",
+        cfg.disk_model.name
+    );
+    println!();
+    println!(
+        "mean I/O     {:.2} ms (reads {:.2}, writes {:.2})",
+        m.mean_io_ms, m.mean_read_ms, m.mean_write_ms
+    );
+    println!("p95 / p99    {:.2} / {:.2} ms", m.p95_io_ms, m.p99_io_ms);
+    println!(
+        "parity lag   mean {:.1} KB, peak {:.1} KB, unprotected {:.2}% of time",
+        m.mean_parity_lag_bytes / 1024.0,
+        m.peak_parity_lag_bytes / 1024.0,
+        m.frac_unprotected * 100.0
+    );
+    println!("disk I/Os    {:?}", m.io);
+    println!(
+        "scrubbing    {} stripes in {} batches",
+        m.stripes_scrubbed, m.scrub_batches
+    );
+    let avail = availability(&cfg, m);
+    println!(
+        "MTTDL        disk-related {:.2e} h, overall {:.2e} h",
+        avail.mttdl_disk, avail.mttdl_overall
+    );
+    println!(
+        "MDLR         disk {:.3} B/h (unprotected part {:.3}), overall {:.0} B/h",
+        avail.mdlr_disk, avail.mdlr_unprotected, avail.mdlr_overall
+    );
+    if let Some(loss) = &result.loss {
+        println!();
+        println!(
+            "disk {} failed at {}: {} dirty stripes, {} data units lost ({} bytes)",
+            loss.failed_disk, loss.at, loss.dirty_stripes, loss.lost_units, loss.lost_bytes
+        );
+    }
+    if let Some(t) = result.reprotected_at {
+        println!("NVRAM-loss sweep completed at {t}");
+    }
+    if let Some(t) = result.rebuilt_at {
+        println!("spare rebuild completed at {t}");
+    }
+    ExitCode::SUCCESS
+}
