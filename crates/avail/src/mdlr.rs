@@ -1,6 +1,6 @@
 //! Mean data loss rate (paper §3.2, equations 3–5).
 
-use crate::mttdl::{mttdl_raid0, mttdl_raid5_catastrophic};
+use crate::mttdl::{mttdl_latent, mttdl_raid0, mttdl_raid5_catastrophic};
 use crate::params::ModelParams;
 use crate::{BytesPerHour, Hours};
 
@@ -47,6 +47,25 @@ pub fn mdlr_unprotected(params: &ModelParams, n: u32, mean_parity_lag: f64) -> B
 /// Equation (5): total disk-related MDLR of an AFRAID array.
 pub fn mdlr_afraid(params: &ModelParams, n: u32, mean_parity_lag: f64) -> BytesPerHour {
     mdlr_raid5_catastrophic(params, n) + mdlr_unprotected(params, n, mean_parity_lag)
+}
+
+/// MDLR of the latent-sector-error loss mode: when a disk failure
+/// coincides with an undetected bad sector on a survivor, roughly one
+/// stripe unit around the bad sector is unreconstructable. The event
+/// rate is `1/MTTDL_latent` (see
+/// [`mttdl_latent`](crate::mttdl::mttdl_latent)); each event costs
+/// `stripe_unit` bytes. Zero when the latent term is infinite.
+pub fn mdlr_latent(
+    params: &ModelParams,
+    n: u32,
+    rate_per_disk_hour: f64,
+    dwell_hours: f64,
+) -> BytesPerHour {
+    let mttdl = mttdl_latent(params, n, rate_per_disk_hour, dwell_hours);
+    if mttdl.is_infinite() {
+        return 0.0;
+    }
+    params.stripe_unit as f64 / mttdl
 }
 
 /// MDLR contributed by support components: losing the array loses all
@@ -140,5 +159,23 @@ mod tests {
         // losing 2 GB.
         let m = mdlr_raid0(&p(), 5);
         assert!((4_999.0..5_001.0).contains(&m), "mdlr {m}");
+    }
+
+    #[test]
+    fn latent_mdlr_zero_when_clean() {
+        assert_eq!(mdlr_latent(&p(), 4, 0.0, 1.0), 0.0);
+        assert_eq!(mdlr_latent(&p(), 4, 1e-6, 0.0), 0.0);
+    }
+
+    #[test]
+    fn latent_mdlr_scales_with_dwell_until_saturation() {
+        let short = mdlr_latent(&p(), 4, 1e-6, 1.0);
+        let long = mdlr_latent(&p(), 4, 1e-6, 10.0);
+        assert!((long / short - 10.0).abs() < 1e-9);
+        // Saturated (unscrubbed) case: one stripe unit per
+        // latent-coincident failure, at the RAID 0-like event rate.
+        let sat = mdlr_latent(&p(), 4, 1e-3, p().mttf_disk());
+        let expect = p().stripe_unit as f64 * 5.0 / p().mttf_disk();
+        assert!((sat - expect).abs() < 1e-12, "sat {sat} expect {expect}");
     }
 }

@@ -108,6 +108,51 @@ pub fn mttdl_afraid(params: &ModelParams, n: u32, frac_unprot: f64) -> Hours {
     ])
 }
 
+/// Latent-sector-error loss mode: a whole-disk failure while some
+/// *other* disk carries an undetected bad sector loses the data that
+/// sector was needed to reconstruct.
+///
+/// ```text
+/// MTTDL_latent = MTTFdisk / ((N+1) · min(1, N · λ · d))
+/// ```
+///
+/// where `λ` is the latent-error arrival rate per disk-hour and `d`
+/// the mean *dwell* — how long an error stays undetected. With
+/// background scrubbing at tour period `T`, `d ≈ T/2`; without
+/// scrubbing, errors dwell until the disk itself dies, `d ≈ MTTFdisk`,
+/// which saturates the `min` and collapses this term to
+/// `MTTF/(N+1)` — RAID 0-like exposure, the cost of never looking.
+///
+/// `min(1, N·λ·d)` is the probability that at least one survivor
+/// carries a latent error when a disk fails (linearised Poisson,
+/// capped at certainty). Returns infinity when `rate` or `dwell` is
+/// zero.
+///
+/// # Panics
+///
+/// Panics if `rate_per_disk_hour` or `dwell_hours` is negative or not
+/// finite-or-infinite (`NaN`).
+pub fn mttdl_latent(
+    params: &ModelParams,
+    n: u32,
+    rate_per_disk_hour: f64,
+    dwell_hours: f64,
+) -> Hours {
+    assert!(
+        rate_per_disk_hour >= 0.0 && !rate_per_disk_hour.is_nan(),
+        "latent rate out of range: {rate_per_disk_hour}"
+    );
+    assert!(
+        dwell_hours >= 0.0 && !dwell_hours.is_nan(),
+        "dwell out of range: {dwell_hours}"
+    );
+    let p_exposed = (f64::from(n) * rate_per_disk_hour * dwell_hours).min(1.0);
+    if p_exposed == 0.0 {
+        return f64::INFINITY;
+    }
+    params.mttf_disk() / (f64::from(n + 1) * p_exposed)
+}
+
 /// Harmonically combines independent MTTDL contributions (failure
 /// rates add). Infinite contributions are no-ops; an empty slice is
 /// infinitely reliable.
@@ -209,5 +254,40 @@ mod tests {
     #[should_panic(expected = "unprotected fraction out of range")]
     fn rejects_bad_fraction() {
         let _ = mttdl_afraid_unprotected(&p(), 4, 1.5);
+    }
+
+    #[test]
+    fn latent_term_vanishes_without_errors_or_exposure() {
+        assert_eq!(mttdl_latent(&p(), 4, 0.0, 100.0), f64::INFINITY);
+        assert_eq!(mttdl_latent(&p(), 4, 1e-3, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn latent_term_scales_inversely_with_dwell() {
+        // Halving the dwell (scrubbing twice as fast) doubles the term
+        // while the linearised probability stays below the cap.
+        let slow = mttdl_latent(&p(), 4, 1e-6, 10.0);
+        let fast = mttdl_latent(&p(), 4, 1e-6, 5.0);
+        assert!((fast / slow - 2.0).abs() < 1e-9, "fast {fast} slow {slow}");
+    }
+
+    #[test]
+    fn unscrubbed_latent_term_saturates_to_raid0_like() {
+        // Without scrubbing an error dwells ~MTTFdisk: N·λ·d >> 1, the
+        // probability caps at 1, and the term collapses to MTTF/(N+1)
+        // — exactly the RAID 0 figure for the same spindle count.
+        let m = mttdl_latent(&p(), 4, 1e-4, p().mttf_disk());
+        assert_eq!(m, mttdl_raid0(&p(), 5));
+    }
+
+    #[test]
+    fn latent_term_combines_with_the_paper_modes() {
+        // A scrubbed latent term sits far above the unprotected-window
+        // term and barely moves the combined figure.
+        let latent = mttdl_latent(&p(), 4, 1e-6, 0.5);
+        let afraid = mttdl_afraid(&p(), 4, 0.05);
+        let total = combine(&[afraid, latent]);
+        assert!(total <= afraid);
+        assert!(total > afraid * 0.9, "latent term should be minor here");
     }
 }

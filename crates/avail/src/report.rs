@@ -7,10 +7,24 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::mdlr::{mdlr_raid0, mdlr_raid5_catastrophic, mdlr_support, mdlr_unprotected};
-use crate::mttdl::{combine, mttdl_afraid, mttdl_raid0, mttdl_raid5_catastrophic};
+use crate::mdlr::{
+    mdlr_latent, mdlr_raid0, mdlr_raid5_catastrophic, mdlr_support, mdlr_unprotected,
+};
+use crate::mttdl::{combine, mttdl_afraid, mttdl_latent, mttdl_raid0, mttdl_raid5_catastrophic};
 use crate::params::ModelParams;
 use crate::{BytesPerHour, Hours};
+
+/// Latent-sector-error exposure inputs for the availability model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LatentExposure {
+    /// Latent error arrival rate per disk per hour.
+    pub rate_per_disk_hour: f64,
+    /// Mean time an error stays undetected, hours. With tour
+    /// scrubbing this is half the measured tour period; without, it
+    /// is effectively the disk MTTF (errors are found only when the
+    /// disk dies).
+    pub dwell_hours: f64,
+}
 
 /// Which array design a report describes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,6 +60,11 @@ pub struct AvailabilityReport {
     pub mdlr_unprotected: BytesPerHour,
     /// Overall MDLR including support components, bytes/hour.
     pub mdlr_overall: BytesPerHour,
+    /// MTTDL of the latent-sector-error mode alone, hours (infinite
+    /// when no latent exposure was supplied).
+    pub mttdl_latent: Hours,
+    /// MDLR of the latent-sector-error mode alone, bytes/hour.
+    pub mdlr_latent: BytesPerHour,
 }
 
 impl AvailabilityReport {
@@ -64,6 +83,34 @@ impl AvailabilityReport {
         n_data: u32,
         frac_unprotected: f64,
         mean_parity_lag: f64,
+    ) -> AvailabilityReport {
+        Self::build_with_latent(
+            design,
+            params,
+            n_data,
+            frac_unprotected,
+            mean_parity_lag,
+            None,
+        )
+    }
+
+    /// Like [`build`](Self::build), additionally folding a
+    /// latent-sector-error exposure into the disk-related figures.
+    ///
+    /// The latent mode applies to the parity designs only (RAID 0 has
+    /// no reconstruction to corrupt; its data-loss story is already a
+    /// single-failure one), and is ignored there.
+    ///
+    /// # Panics
+    ///
+    /// As [`build`](Self::build).
+    pub fn build_with_latent(
+        design: DesignKind,
+        params: &ModelParams,
+        n_data: u32,
+        frac_unprotected: f64,
+        mean_parity_lag: f64,
+        latent: Option<LatentExposure>,
     ) -> AvailabilityReport {
         let disks = n_data + 1;
         let (mttdl_disk, mdlr_disk, mdlr_unprot, frac, lag) = match design {
@@ -95,6 +142,19 @@ impl AvailabilityReport {
                 )
             }
         };
+        let (mttdl_lat, mdlr_lat) = match (design, latent) {
+            (DesignKind::Raid0, _) | (_, None) => (f64::INFINITY, 0.0),
+            (_, Some(l)) => (
+                mttdl_latent(params, n_data, l.rate_per_disk_hour, l.dwell_hours),
+                mdlr_latent(params, n_data, l.rate_per_disk_hour, l.dwell_hours),
+            ),
+        };
+        let mttdl_disk = if mttdl_lat.is_finite() {
+            combine(&[mttdl_disk, mttdl_lat])
+        } else {
+            mttdl_disk
+        };
+        let mdlr_disk = mdlr_disk + mdlr_lat;
         let mttdl_overall = combine(&[mttdl_disk, params.mttdl_support]);
         let mdlr_overall = mdlr_disk + mdlr_support(params, n_data, params.mttdl_support);
         AvailabilityReport {
@@ -107,6 +167,8 @@ impl AvailabilityReport {
             mdlr_disk,
             mdlr_unprotected: mdlr_unprot,
             mdlr_overall,
+            mttdl_latent: mttdl_lat,
+            mdlr_latent: mdlr_lat,
         }
     }
 }
@@ -177,5 +239,70 @@ mod tests {
     #[should_panic(expected = "RAID 5 cannot have unprotected data")]
     fn raid5_rejects_unprotected_inputs() {
         let _ = AvailabilityReport::build(DesignKind::Raid5, &p(), 4, 0.1, 0.0);
+    }
+
+    #[test]
+    fn no_latent_exposure_means_infinite_latent_term() {
+        let r = AvailabilityReport::build(DesignKind::Afraid, &p(), 4, 0.05, 0.0);
+        assert_eq!(r.mttdl_latent, f64::INFINITY);
+        assert_eq!(r.mdlr_latent, 0.0);
+    }
+
+    #[test]
+    fn latent_exposure_degrades_the_disk_figures() {
+        let clean = AvailabilityReport::build(DesignKind::Afraid, &p(), 4, 0.05, 0.0);
+        let exposed = AvailabilityReport::build_with_latent(
+            DesignKind::Afraid,
+            &p(),
+            4,
+            0.05,
+            0.0,
+            Some(LatentExposure {
+                rate_per_disk_hour: 1e-4,
+                dwell_hours: 1.0,
+            }),
+        );
+        assert!(exposed.mttdl_latent.is_finite());
+        assert!(exposed.mttdl_disk < clean.mttdl_disk);
+        assert!(exposed.mdlr_disk > clean.mdlr_disk);
+    }
+
+    #[test]
+    fn scrubbing_improves_the_latent_term() {
+        let build = |dwell: f64| {
+            AvailabilityReport::build_with_latent(
+                DesignKind::Afraid,
+                &p(),
+                4,
+                0.05,
+                0.0,
+                Some(LatentExposure {
+                    rate_per_disk_hour: 1e-4,
+                    dwell_hours: dwell,
+                }),
+            )
+        };
+        // Unscrubbed dwell ~ MTTF vs a half-hour tour: orders of
+        // magnitude apart.
+        let unscrubbed = build(p().mttf_disk());
+        let scrubbed = build(0.25);
+        assert!(scrubbed.mttdl_latent > unscrubbed.mttdl_latent * 100.0);
+    }
+
+    #[test]
+    fn raid0_ignores_latent_exposure() {
+        let r = AvailabilityReport::build_with_latent(
+            DesignKind::Raid0,
+            &p(),
+            4,
+            0.0,
+            0.0,
+            Some(LatentExposure {
+                rate_per_disk_hour: 1.0,
+                dwell_hours: 1.0,
+            }),
+        );
+        assert_eq!(r.mttdl_latent, f64::INFINITY);
+        assert_eq!(r.mdlr_latent, 0.0);
     }
 }

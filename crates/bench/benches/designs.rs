@@ -59,9 +59,37 @@ fn bench_scrub_sweep(c: &mut Criterion) {
     });
 }
 
+fn bench_tour_scrub(c: &mut Criterion) {
+    // The scrub-rate x policy scenario axis: an idle-heavy trace with
+    // latent errors flowing, tour-scrubbed at increasing IOPS budgets.
+    // Measures the tour machinery's simulation cost (every tour reads
+    // the whole array).
+    let trace = WorkloadSpec::preset(WorkloadKind::Hplajw).generate(
+        2500 * 4 * 8192,
+        SimDuration::from_secs(60),
+        42,
+    );
+    let mut group = c.benchmark_group("tour_scrub_hplajw_60s");
+    for iops in [100.0f64, 400.0, 1600.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(iops as u64),
+            &iops,
+            |b, &iops| {
+                let mut cfg = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+                cfg.shadow = false;
+                cfg.scrub.enabled = true;
+                cfg.scrub.iops_budget = iops;
+                cfg.scrub.latent_rate_per_disk_hour = 100.0;
+                b.iter(|| black_box(run_trace(&cfg, &trace, &RunOptions::default())))
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = designs;
     config = Criterion::default().sample_size(10);
-    targets = bench_designs, bench_scrub_sweep
+    targets = bench_designs, bench_scrub_sweep, bench_tour_scrub
 }
 criterion_main!(designs);

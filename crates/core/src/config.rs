@@ -48,6 +48,40 @@ pub struct ArrayConfig {
     /// Per-region redundancy overrides (paper §5); empty = the whole
     /// array follows `policy`.
     pub regions: RegionMap,
+    /// Latent-error injection and background-scrubbing knobs.
+    pub scrub: ScrubConfig,
+}
+
+/// Configuration of the latent sector error process and the
+/// idle-driven tour scrubber (see [`crate::scrub`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScrubConfig {
+    /// Run background scrub tours during idle periods.
+    pub enabled: bool,
+    /// Disk reads per second the scrubber may consume (token bucket).
+    pub iops_budget: f64,
+    /// Target time for one full tour of the array. Advisory: the tour
+    /// is paced by `iops_budget`, and this sets the availability
+    /// model's expected detection window and the acceptance bound
+    /// checked by tests.
+    pub tour_period: SimDuration,
+    /// Mean latent sector errors per disk per simulated hour
+    /// (0 disables the error process entirely).
+    pub latent_rate_per_disk_hour: f64,
+    /// Seed for the error process and tour origins.
+    pub latent_seed: u64,
+}
+
+impl Default for ScrubConfig {
+    fn default() -> Self {
+        ScrubConfig {
+            enabled: false,
+            iops_budget: 50.0,
+            tour_period: SimDuration::from_secs(3600),
+            latent_rate_per_disk_hour: 0.0,
+            latent_seed: 0x5eed_1a7e,
+        }
+    }
 }
 
 impl ArrayConfig {
@@ -67,6 +101,7 @@ impl ArrayConfig {
             shadow: false,
             spin_synchronized: true,
             regions: RegionMap::none(),
+            scrub: ScrubConfig::default(),
         }
     }
 
@@ -87,6 +122,7 @@ impl ArrayConfig {
             shadow: true,
             spin_synchronized: true,
             regions: RegionMap::none(),
+            scrub: ScrubConfig::default(),
         }
     }
 
@@ -123,6 +159,23 @@ impl ArrayConfig {
         }
         let stripes = self.disk_model.geometry.capacity_sectors() / unit_sectors;
         self.regions.validate(stripes)?;
+        if !self.scrub.iops_budget.is_finite() || self.scrub.iops_budget <= 0.0 {
+            return Err(format!(
+                "scrub IOPS budget must be positive, got {}",
+                self.scrub.iops_budget
+            ));
+        }
+        if self.scrub.tour_period.is_zero() {
+            return Err("scrub tour period must be positive".to_string());
+        }
+        if !self.scrub.latent_rate_per_disk_hour.is_finite()
+            || self.scrub.latent_rate_per_disk_hour < 0.0
+        {
+            return Err(format!(
+                "latent error rate must be finite and non-negative, got {}",
+                self.scrub.latent_rate_per_disk_hour
+            ));
+        }
         Ok(())
     }
 }
@@ -165,5 +218,24 @@ mod tests {
         let mut c = ArrayConfig::small_test(ParityPolicy::IdleOnly);
         c.idle_delay = SimDuration::ZERO;
         assert!(c.validate().is_err());
+
+        let mut c = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        c.scrub.iops_budget = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        c.scrub.tour_period = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        c.scrub.latent_rate_per_disk_hour = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn scrubbing_is_off_by_default() {
+        let c = ArrayConfig::paper_default(ParityPolicy::IdleOnly);
+        assert!(!c.scrub.enabled);
+        assert_eq!(c.scrub.latent_rate_per_disk_hour, 0.0);
     }
 }

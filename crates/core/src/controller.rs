@@ -33,6 +33,14 @@
 //! The scrubber coalesces runs of adjacent dirty stripes into batches:
 //! one read per disk per contiguous extent, then one parity write per
 //! stripe, then the marks are cleared.
+//!
+//! A second, lower-priority background activity shares the idle
+//! detector: the latent-error *tour scrubber* (see [`crate::scrub`])
+//! reads every sector of the array under an IOPS budget, repairing
+//! latent sector errors from parity before a disk failure can expose
+//! them. Parity scrubbing always wins: tour batches are only planned
+//! while no parity scrub is active, and the tour is abandoned outright
+//! in degraded mode.
 
 use std::collections::HashMap;
 
@@ -44,12 +52,14 @@ use afraid_trace::record::{IoRecord, ReqKind};
 
 use crate::cache::ReadCache;
 use crate::config::ArrayConfig;
+use crate::faults::LatentErrors;
 use crate::idle::IdleDetector;
 use crate::layout::Layout;
 use crate::metrics::{IoCause, MetricsBuilder};
 use crate::nvram::MarkingMemory;
 use crate::policy::{Directives, Observations, ParityPolicy, PolicyEngine, WriteMode};
 use crate::regions::RegionMode;
+use crate::scrub::{TourScrubber, TourStep};
 use crate::shadow::{version_word, ShadowArray};
 use std::collections::VecDeque;
 
@@ -105,6 +115,14 @@ pub enum Ev {
         /// Batch sequence number (guards against stale events).
         batch: u64,
     },
+    /// One disk I/O belonging to tour-scrub batch `batch` completed.
+    TourIo {
+        /// Batch sequence number (guards against stale events).
+        batch: u64,
+    },
+    /// The tour scrubber's IOPS budget has recharged; try to plan the
+    /// next batch.
+    TourTick,
 }
 
 /// One disk I/O in a request plan.
@@ -177,6 +195,19 @@ struct ScrubState {
 enum ScrubPhase {
     Read,
     Write,
+}
+
+/// In-flight tour-scrub batch: a contiguous stripe run read on every
+/// disk (phase 1), then repair writes for any latent errors found on
+/// clean stripes (phase 2). Tour reads do not lock stripes: they only
+/// sample sector readability, so racing client writes are harmless.
+#[derive(Debug)]
+struct TourBatch {
+    batch_id: u64,
+    first_stripe: u64,
+    stripes: u64,
+    pending: u32,
+    phase: ScrubPhase,
 }
 
 /// Degraded-mode state: one disk is dead; optionally a rebuild sweep
@@ -256,6 +287,18 @@ pub struct Controller {
     /// Set when the post-NVRAM-failure sweep finishes.
     pub(crate) reprotected_at: Option<SimTime>,
     nvram_recovery: bool,
+    /// Latent sector error process, when configured.
+    latent: Option<LatentErrors>,
+    /// Tour scrubber planning state, when enabled.
+    tour: Option<TourScrubber>,
+    /// In-flight tour batch.
+    tour_batch: Option<TourBatch>,
+    /// Pending budget-recharge wakeup.
+    tour_tick: Option<EventId>,
+    /// Set by the driver once the last trace record has been
+    /// delivered: no more arrivals will come, so background work must
+    /// wind down rather than keep the event loop alive.
+    pub(crate) draining: bool,
 }
 
 impl Controller {
@@ -292,6 +335,26 @@ impl Controller {
         let marks = MarkingMemory::new(layout.stripes(), cfg.mark_granularity);
         let engine = PolicyEngine::new(cfg.policy, cfg.params, cfg.n_data());
         let shadow = cfg.shadow.then(|| ShadowArray::new(layout));
+        // Errors only matter inside the striped region; trailing
+        // sectors that belong to no stripe are never read.
+        let striped_sectors = layout.stripes() * layout.unit_sectors();
+        let latent = (cfg.scrub.latent_rate_per_disk_hour > 0.0).then(|| {
+            LatentErrors::generate(
+                cfg.disks,
+                striped_sectors,
+                cfg.scrub.latent_rate_per_disk_hour,
+                cfg.scrub.latent_seed,
+            )
+        });
+        let tour = cfg.scrub.enabled.then(|| {
+            TourScrubber::new(
+                layout.stripes(),
+                cfg.disks,
+                cfg.scrub_batch,
+                cfg.scrub.iops_budget,
+                cfg.scrub.latent_seed,
+            )
+        });
         Controller {
             host_q: Scheduler::new(cfg.host_policy),
             idle: IdleDetector::new(cfg.idle_delay),
@@ -325,6 +388,11 @@ impl Controller {
             rebuilt_at: None,
             reprotected_at: None,
             nvram_recovery: false,
+            latent,
+            tour,
+            tour_batch: None,
+            tour_tick: None,
+            draining: false,
             cfg,
         }
     }
@@ -343,6 +411,20 @@ impl Controller {
     /// The shadow content model, if enabled.
     pub fn shadow(&self) -> Option<&ShadowArray> {
         self.shadow.as_ref()
+    }
+
+    /// The latent-error process, if one is configured.
+    pub fn latent_errors(&self) -> Option<&LatentErrors> {
+        self.latent.as_ref()
+    }
+
+    /// Materialises latent-error arrivals up to the current time, so a
+    /// loss assessment sees every error with onset `<= now`.
+    pub(crate) fn sync_latent(&mut self) {
+        let now = self.now;
+        if let Some(latent) = &mut self.latent {
+            latent.advance(now);
+        }
     }
 
     /// Current parity lag in bytes.
@@ -421,6 +503,11 @@ impl Controller {
             Ev::ParityPoint { offset, bytes } => self.request_parity_point(offset, bytes),
             Ev::SpareInstalled => self.on_spare_installed(),
             Ev::RebuildIo { batch } => self.on_rebuild_io(batch),
+            Ev::TourIo { batch } => self.on_tour_io(batch),
+            Ev::TourTick => {
+                self.tour_tick = None;
+                self.maybe_start_tour();
+            }
         }
     }
 
@@ -1087,7 +1174,7 @@ impl Controller {
     fn arm_idle_timer(&mut self, scrub_on_idle: bool) {
         let conservative = matches!(self.cfg.policy, ParityPolicy::Conservative { .. });
         let wants_scrub = scrub_on_idle && self.marks.marked_count() > 0 && self.scrub.is_none();
-        if !(wants_scrub || conservative) {
+        if !(wants_scrub || conservative || self.tour_wants_work()) {
             return;
         }
         let Some(at) = self.idle.eligible_at() else {
@@ -1118,6 +1205,11 @@ impl Controller {
         let d = self.evaluate_policy();
         if d.scrub_on_idle && self.marks.marked_count() > 0 {
             self.start_scrub(false);
+        }
+        // Parity scrubbing has priority; the tour takes the idle
+        // period only when no parity scrub started.
+        if self.scrub.is_none() {
+            self.maybe_start_tour();
         }
     }
 
@@ -1335,6 +1427,9 @@ impl Controller {
         // keep going under load; idle scrubs are preempted between
         // batches as soon as client work appears.
         if self.marks.marked_count() == 0 {
+            // Parity fully settled: the rest of the idle period belongs
+            // to the latent-error tour (no-op unless enabled and idle).
+            self.maybe_start_tour();
             return;
         }
         let d = self.evaluate_policy();
@@ -1343,6 +1438,186 @@ impl Controller {
         if keep_going {
             self.scrub_next_batch();
         } else {
+            self.arm_idle_timer(d.scrub_on_idle);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Latent-error tour scrubbing
+    // ------------------------------------------------------------------
+
+    /// True if the tour scrubber could usefully run right now; decides
+    /// whether the idle timer is worth arming on its behalf.
+    fn tour_wants_work(&self) -> bool {
+        let Some(tour) = &self.tour else { return false };
+        if self.tour_batch.is_some() || self.degraded.is_some() {
+            return false;
+        }
+        // While draining, the tour in hand is finished, but a *new*
+        // tour starts only if none has completed yet — every
+        // scrub-enabled run gets at least one full tour without
+        // keeping the event loop alive forever.
+        !(self.draining && tour.tours_done() > 0 && !tour.mid_tour())
+    }
+
+    /// Plans and issues the next tour batch if the array is idle, no
+    /// parity scrub is active, and the IOPS budget allows.
+    fn maybe_start_tour(&mut self) {
+        if !self.tour_wants_work() || self.scrub.is_some() || !self.idle.is_idle(self.now) {
+            return;
+        }
+        let now = self.now;
+        match self.tour.as_mut().expect("tour enabled").plan(now) {
+            TourStep::Batch {
+                first_stripe,
+                stripes,
+            } => self.issue_tour_batch(first_stripe, stripes),
+            TourStep::Wait(ready) => {
+                if self.tour_tick.is_none() {
+                    let at = ready.max(self.now + SimDuration::from_micros(1));
+                    self.tour_tick = Some(self.events.schedule(at, Ev::TourTick));
+                }
+            }
+        }
+    }
+
+    /// Issues the read phase of a tour batch: one contiguous extent on
+    /// *every* disk (parity included — full sector coverage). Tour
+    /// reads do not lock stripes against client writes.
+    fn issue_tour_batch(&mut self, first_stripe: u64, stripes: u64) {
+        let batch_id = self.next_batch_id;
+        self.next_batch_id += 1;
+        let lba = self.layout.stripe_lba(first_stripe);
+        let sectors = stripes * self.layout.unit_sectors();
+        for disk in 0..self.cfg.disks {
+            self.submit(
+                PlannedIo {
+                    disk,
+                    lba,
+                    sectors,
+                    op: OpKind::Read,
+                    cause: IoCause::TourRead,
+                },
+                Ev::TourIo { batch: batch_id },
+            );
+        }
+        self.tour_batch = Some(TourBatch {
+            batch_id,
+            first_stripe,
+            stripes,
+            pending: self.cfg.disks,
+            phase: ScrubPhase::Read,
+        });
+    }
+
+    fn on_tour_io(&mut self, batch: u64) {
+        let Some(tb) = &mut self.tour_batch else {
+            return;
+        };
+        if tb.batch_id != batch {
+            return; // stale event from an abandoned batch
+        }
+        tb.pending -= 1;
+        if tb.pending > 0 {
+            return;
+        }
+        match tb.phase {
+            ScrubPhase::Read => self.tour_repair_phase(),
+            ScrubPhase::Write => self.finish_tour_batch(),
+        }
+    }
+
+    /// Read phase done: detect latent errors under the batch and issue
+    /// repair writes for those that are repairable. The tour already
+    /// holds every unit of the batch in memory, so a repair is a
+    /// single sector write — no extra reconstruction reads.
+    fn tour_repair_phase(&mut self) {
+        let tb = self.tour_batch.as_ref().expect("tour batch in flight");
+        let (batch_id, first, nstripes) = (tb.batch_id, tb.first_stripe, tb.stripes);
+        let unit_sectors = self.layout.unit_sectors();
+        let lba0 = self.layout.stripe_lba(first);
+        let span = nstripes * unit_sectors;
+
+        let mut detected = 0u64;
+        let mut repairs: Vec<(u32, u64)> = Vec::new();
+        if let Some(latent) = &mut self.latent {
+            latent.advance(self.now);
+            for disk in 0..self.cfg.disks {
+                for sector in latent.active_in(disk, lba0, span, self.now) {
+                    detected += 1;
+                    let stripe = first + (sector - lba0) / unit_sectors;
+                    // Repair needs a consistent stripe (parity current,
+                    // i.e. not marked dirty) and the same sector of
+                    // every other unit readable — a double error on one
+                    // row is unreconstructable until a client rewrite.
+                    let clean = !self.marks.is_marked(stripe);
+                    let twin = (0..self.cfg.disks)
+                        .any(|d| d != disk && latent.active_at(d, sector, self.now));
+                    if clean && !twin {
+                        repairs.push((disk, sector));
+                    }
+                }
+            }
+        }
+        self.metrics.record_latent_detected(detected);
+
+        // Cross-check against the shadow model: every stripe we are
+        // about to repair must actually be reconstructable, or the
+        // repair would write garbage over client data.
+        if let Some(shadow) = &self.shadow {
+            for &(disk, sector) in &repairs {
+                let stripe = first + (sector - lba0) / unit_sectors;
+                shadow.check_scrub_repair(stripe, disk);
+            }
+        }
+        for &(disk, sector) in &repairs {
+            let was_bad = self
+                .latent
+                .as_mut()
+                .expect("repairs imply a latent process")
+                .repair(disk, sector);
+            debug_assert!(was_bad);
+        }
+        if repairs.is_empty() {
+            self.finish_tour_batch();
+            return;
+        }
+        self.metrics.record_latent_repaired(repairs.len() as u64);
+        let tb = self.tour_batch.as_mut().expect("tour batch in flight");
+        tb.phase = ScrubPhase::Write;
+        tb.pending = repairs.len() as u32;
+        for (disk, sector) in repairs {
+            self.submit(
+                PlannedIo {
+                    disk,
+                    lba: sector,
+                    sectors: 1,
+                    op: OpKind::Write,
+                    cause: IoCause::LatentRepairWrite,
+                },
+                Ev::TourIo { batch: batch_id },
+            );
+        }
+    }
+
+    fn finish_tour_batch(&mut self) {
+        let tb = self.tour_batch.take().expect("tour batch in flight");
+        self.metrics
+            .record_tour_batch(tb.stripes * self.layout.unit_sectors() * u64::from(self.cfg.disks));
+        let now = self.now;
+        if let Some(dur) = self
+            .tour
+            .as_mut()
+            .expect("tour enabled")
+            .complete(now, tb.stripes)
+        {
+            self.metrics.record_tour(dur);
+        }
+        // Keep touring through the idle period (budget permitting);
+        // otherwise re-arm the idle timer for the next one.
+        self.maybe_start_tour();
+        if self.tour_batch.is_none() && self.tour_tick.is_none() {
+            let d = self.evaluate_policy();
             self.arm_idle_timer(d.scrub_on_idle);
         }
     }
@@ -1371,6 +1646,12 @@ impl Controller {
         // ignored via the batch-id check, and no new scrubs start
         // while degraded.
         self.scrub = None;
+        // The latent-error tour is abandoned too: with a dead disk
+        // there is no redundancy left to repair from.
+        self.tour_batch = None;
+        if let Some(ev) = self.tour_tick.take() {
+            self.events.cancel(ev);
+        }
         if let Some(ev) = self.idle_event.take() {
             self.events.cancel(ev);
         }

@@ -85,6 +85,8 @@ pub fn run_trace(cfg: &ArrayConfig, trace: &Trace, opts: &RunOptions) -> RunResu
     let mut next_arrival = 0usize;
     if let Some(first) = trace.records.first() {
         c.events.schedule(first.time, Ev::Arrive);
+    } else {
+        c.draining = true;
     }
 
     let mut loss: Option<DataLossReport> = None;
@@ -98,16 +100,24 @@ pub fn run_trace(cfg: &ArrayConfig, trace: &Trace, opts: &RunOptions) -> RunResu
                 if next_arrival < trace.records.len() {
                     c.events
                         .schedule(trace.records[next_arrival].time, Ev::Arrive);
+                } else {
+                    // No more arrivals: background work (the scrub
+                    // tour in particular) must wind down.
+                    c.draining = true;
                 }
                 c.on_arrival(rec);
             }
             Ev::FailDisk { disk } => {
                 c.handle(ev);
+                // Materialise latent-error arrivals up to the failure
+                // instant so the assessment sees the true exposure.
+                c.sync_latent();
                 loss = Some(assess_loss(
                     c.layout(),
                     c.marks(),
                     c.shadow(),
                     &cfg.regions,
+                    c.latent_errors(),
                     disk,
                     c.now,
                 ));

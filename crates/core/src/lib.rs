@@ -39,9 +39,10 @@
 //! | [`controller`] | the event-driven array controller |
 //! | [`driver`] | trace-driven runs |
 //! | [`metrics`] | per-run measurements |
-//! | [`faults`] | disk/NVRAM failure injection and loss assessment |
+//! | [`faults`] | disk/NVRAM failure injection, latent sector errors, loss assessment |
 //! | [`shadow`] | XOR content model that *verifies* redundancy claims |
 //! | [`idle`] | idle detection |
+//! | [`scrub`] | latent-error tour scrubber (idle-driven, IOPS-budgeted) |
 //! | [`cache`] | the array controller's read cache |
 //! | [`recovery`] | post-failure rebuild time model |
 //! | [`regions`] | per-region redundancy overrides (paper §5) |
@@ -64,11 +65,12 @@ pub mod raid6;
 pub mod recovery;
 pub mod regions;
 pub mod report;
+pub mod scrub;
 pub mod shadow;
 
-pub use config::ArrayConfig;
+pub use config::{ArrayConfig, ScrubConfig};
 pub use driver::{run_trace, RunOptions, RunResult};
-pub use faults::DataLossReport;
+pub use faults::{DataLossReport, LatentErrors};
 pub use layout::Layout;
 pub use metrics::RunMetrics;
 pub use nvram::{MarkGranularity, MarkingMemory};

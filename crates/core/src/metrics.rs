@@ -31,6 +31,10 @@ pub enum IoCause {
     RebuildRead,
     /// Rebuild-sweep write onto the spare.
     RebuildWrite,
+    /// Background tour-scrub read (latent-error detection).
+    TourRead,
+    /// Repair write for a latent sector error found by a tour.
+    LatentRepairWrite,
 }
 
 /// Count of disk I/Os by cause.
@@ -54,6 +58,10 @@ pub struct IoBreakdown {
     pub rebuild_read: u64,
     /// Rebuild-sweep writes to the spare.
     pub rebuild_write: u64,
+    /// Tour-scrub reads.
+    pub tour_read: u64,
+    /// Latent-error repair writes.
+    pub latent_repair_write: u64,
 }
 
 impl IoBreakdown {
@@ -69,6 +77,8 @@ impl IoBreakdown {
             IoCause::ReconstructRead => self.reconstruct_read += 1,
             IoCause::RebuildRead => self.rebuild_read += 1,
             IoCause::RebuildWrite => self.rebuild_write += 1,
+            IoCause::TourRead => self.tour_read += 1,
+            IoCause::LatentRepairWrite => self.latent_repair_write += 1,
         }
     }
 
@@ -88,6 +98,8 @@ impl IoBreakdown {
             + self.reconstruct_read
             + self.rebuild_read
             + self.rebuild_write
+            + self.tour_read
+            + self.latent_repair_write
     }
 }
 
@@ -112,6 +124,11 @@ pub struct MetricsBuilder {
     host_queue_peak: usize,
     parity_points: u64,
     failed_reads: u64,
+    latent_detected: u64,
+    latent_repaired: u64,
+    scrub_tours: u64,
+    tour_sectors_read: u64,
+    tour_secs_sum: f64,
 }
 
 impl MetricsBuilder {
@@ -133,6 +150,11 @@ impl MetricsBuilder {
             host_queue_peak: 0,
             parity_points: 0,
             failed_reads: 0,
+            latent_detected: 0,
+            latent_repaired: 0,
+            scrub_tours: 0,
+            tour_sectors_read: 0,
+            tour_secs_sum: 0.0,
         }
     }
 
@@ -191,6 +213,27 @@ impl MetricsBuilder {
         self.failed_reads += 1;
     }
 
+    /// Records latent errors detected by a tour batch.
+    pub fn record_latent_detected(&mut self, n: u64) {
+        self.latent_detected += n;
+    }
+
+    /// Records latent errors repaired from parity.
+    pub fn record_latent_repaired(&mut self, n: u64) {
+        self.latent_repaired += n;
+    }
+
+    /// Records the sectors read by one completed tour batch.
+    pub fn record_tour_batch(&mut self, sectors_read: u64) {
+        self.tour_sectors_read += sectors_read;
+    }
+
+    /// Records one completed full scrub tour.
+    pub fn record_tour(&mut self, duration: SimDuration) {
+        self.scrub_tours += 1;
+        self.tour_secs_sum += duration.as_secs_f64();
+    }
+
     /// Current parity lag (bytes).
     pub fn current_lag(&self) -> f64 {
         self.lag.current()
@@ -225,6 +268,15 @@ impl MetricsBuilder {
             host_queue_peak: self.host_queue_peak,
             parity_points: self.parity_points,
             failed_reads: self.failed_reads,
+            latent_detected: self.latent_detected,
+            latent_repaired: self.latent_repaired,
+            scrub_tours: self.scrub_tours,
+            tour_sectors_read: self.tour_sectors_read,
+            mean_tour_secs: if self.scrub_tours == 0 {
+                0.0
+            } else {
+                self.tour_secs_sum / self.scrub_tours as f64
+            },
         }
     }
 }
@@ -276,6 +328,16 @@ pub struct RunMetrics {
     pub parity_points: u64,
     /// Reads that failed on known-bad units in degraded mode.
     pub failed_reads: u64,
+    /// Latent sector errors detected by scrub tours.
+    pub latent_detected: u64,
+    /// Latent sector errors repaired from parity.
+    pub latent_repaired: u64,
+    /// Completed full scrub tours.
+    pub scrub_tours: u64,
+    /// Sectors read by tour batches (all disks, parity included).
+    pub tour_sectors_read: u64,
+    /// Mean duration of a completed tour, seconds (0 if none).
+    pub mean_tour_secs: f64,
 }
 
 impl RunMetrics {

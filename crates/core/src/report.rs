@@ -1,6 +1,6 @@
 //! Glue from simulation measurements to availability numbers.
 
-use afraid_avail::report::{AvailabilityReport, DesignKind};
+use afraid_avail::report::{AvailabilityReport, DesignKind, LatentExposure};
 
 use crate::config::ArrayConfig;
 use crate::metrics::RunMetrics;
@@ -17,6 +17,38 @@ pub fn design_kind(policy: ParityPolicy) -> DesignKind {
     }
 }
 
+/// Latent-error exposure for a finished run, or `None` when the run
+/// modelled no latent errors (or the design has no reconstruction to
+/// corrupt).
+///
+/// The dwell — how long an error stays undetected — is half the
+/// *measured* mean tour period when the scrubber ran (an error lands
+/// uniformly within a tour, so it waits half a tour on average). If
+/// scrubbing was enabled but no tour completed, the configured tour
+/// period stands in. With scrubbing disabled, errors are found only
+/// when the disk dies: dwell is the disk MTTF itself, which saturates
+/// the latent term to RAID 0-like exposure.
+pub fn latent_exposure(cfg: &ArrayConfig, metrics: &RunMetrics) -> Option<LatentExposure> {
+    let rate = cfg.scrub.latent_rate_per_disk_hour;
+    if rate <= 0.0 || design_kind(cfg.policy) == DesignKind::Raid0 {
+        return None;
+    }
+    let dwell_hours = if cfg.scrub.enabled {
+        let tour_secs = if metrics.scrub_tours > 0 {
+            metrics.mean_tour_secs
+        } else {
+            cfg.scrub.tour_period.as_secs_f64()
+        };
+        tour_secs / 2.0 / 3600.0
+    } else {
+        cfg.params.mttf_disk()
+    };
+    Some(LatentExposure {
+        rate_per_disk_hour: rate,
+        dwell_hours,
+    })
+}
+
 /// Builds the availability report for a finished run.
 pub fn availability(cfg: &ArrayConfig, metrics: &RunMetrics) -> AvailabilityReport {
     let kind = design_kind(cfg.policy);
@@ -24,12 +56,20 @@ pub fn availability(cfg: &ArrayConfig, metrics: &RunMetrics) -> AvailabilityRepo
         DesignKind::Afraid => (metrics.frac_unprotected, metrics.mean_parity_lag_bytes),
         _ => (0.0, 0.0),
     };
-    AvailabilityReport::build(kind, &cfg.params, cfg.n_data(), frac, lag)
+    AvailabilityReport::build_with_latent(
+        kind,
+        &cfg.params,
+        cfg.n_data(),
+        frac,
+        lag,
+        latent_exposure(cfg, metrics),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use afraid_sim::time::SimDuration;
 
     #[test]
     fn kinds_map_correctly() {
@@ -45,6 +85,81 @@ mod tests {
                 lag_bound_bytes: 1 << 20
             }),
             DesignKind::Afraid
+        );
+    }
+
+    fn metrics_with(tours: u64, mean_tour_secs: f64) -> RunMetrics {
+        use crate::metrics::MetricsBuilder;
+        use afraid_sim::time::SimTime;
+        let mut b = MetricsBuilder::new(SimTime::ZERO);
+        for _ in 0..tours {
+            b.record_tour(SimDuration::from_secs_f64(mean_tour_secs));
+        }
+        b.finish(SimTime::from_secs(1))
+    }
+
+    #[test]
+    fn no_latent_rate_means_no_exposure() {
+        let cfg = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        assert!(latent_exposure(&cfg, &metrics_with(0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn raid0_never_reports_latent_exposure() {
+        let mut cfg = ArrayConfig::small_test(ParityPolicy::NeverRebuild);
+        cfg.scrub.latent_rate_per_disk_hour = 1.0;
+        assert!(latent_exposure(&cfg, &metrics_with(0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn unscrubbed_dwell_is_the_disk_mttf() {
+        let mut cfg = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        cfg.scrub.latent_rate_per_disk_hour = 1e-4;
+        let e = latent_exposure(&cfg, &metrics_with(0, 0.0)).unwrap();
+        assert_eq!(e.dwell_hours, cfg.params.mttf_disk());
+        let r = availability(&cfg, &metrics_with(0, 0.0));
+        assert!(r.mttdl_latent.is_finite());
+    }
+
+    #[test]
+    fn scrubbed_dwell_is_half_the_measured_tour() {
+        let mut cfg = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        cfg.scrub.enabled = true;
+        cfg.scrub.latent_rate_per_disk_hour = 1e-4;
+        let e = latent_exposure(&cfg, &metrics_with(3, 7200.0)).unwrap();
+        assert!(
+            (e.dwell_hours - 1.0).abs() < 1e-12,
+            "dwell {}",
+            e.dwell_hours
+        );
+    }
+
+    #[test]
+    fn scrubbed_but_tourless_falls_back_to_configured_period() {
+        let mut cfg = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        cfg.scrub.enabled = true;
+        cfg.scrub.latent_rate_per_disk_hour = 1e-4;
+        cfg.scrub.tour_period = SimDuration::from_secs(7200);
+        let e = latent_exposure(&cfg, &metrics_with(0, 0.0)).unwrap();
+        assert!(
+            (e.dwell_hours - 1.0).abs() < 1e-12,
+            "dwell {}",
+            e.dwell_hours
+        );
+    }
+
+    #[test]
+    fn scrubbing_lifts_the_latent_mttdl() {
+        let mut cfg = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        cfg.scrub.latent_rate_per_disk_hour = 1e-4;
+        let unscrubbed = availability(&cfg, &metrics_with(0, 0.0));
+        cfg.scrub.enabled = true;
+        let scrubbed = availability(&cfg, &metrics_with(2, 600.0));
+        assert!(
+            scrubbed.mttdl_latent > unscrubbed.mttdl_latent * 2.0,
+            "scrubbed {} unscrubbed {}",
+            scrubbed.mttdl_latent,
+            unscrubbed.mttdl_latent
         );
     }
 }

@@ -135,6 +135,24 @@ impl ShadowArray {
     pub fn layout(&self) -> &Layout {
         &self.layout
     }
+
+    /// Verifies that a latent-error repair of `disk`'s unit in
+    /// `stripe` would regenerate real content: the stripe's XOR
+    /// identity must hold, i.e. reconstruction from the survivors
+    /// yields exactly what the disk holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stripe is inconsistent — repairing from stale
+    /// parity would overwrite client data with garbage, so a scrubber
+    /// that gets here has violated its clean-stripes-only rule.
+    pub fn check_scrub_repair(&self, stripe: u64, disk: u32) {
+        assert!(
+            self.reconstruct(stripe, disk) == Reconstruction::Recovered,
+            "scrub repair on inconsistent stripe {stripe} (disk {disk}): \
+             parity is stale, reconstruction would write garbage"
+        );
+    }
 }
 
 /// Deterministic initial content for a data unit.

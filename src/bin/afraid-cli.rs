@@ -34,6 +34,11 @@ RUN OPTIONS:
     --fail-nvram <s>      fail the marking memory at s seconds
     --degraded            keep running after the disk failure
     --spare <s>           install a spare s seconds after the failure
+    --scrub <iops>        enable background tour scrubbing with this
+                          disk-read IOPS budget
+    --latent <rate>       latent sector errors per disk-hour (default: 0)
+    --tour <secs>         target tour period for the dwell model when no
+                          tour completes (default: 3600)
     --json                emit the full result as JSON
 ";
 
@@ -100,6 +105,7 @@ fn run(args: &[String]) -> ExitCode {
     let mut disks = 5u32;
     let mut opts = RunOptions::default();
     let mut json = false;
+    let mut scrub = afraid::config::ScrubConfig::default();
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -174,6 +180,21 @@ fn run(args: &[String]) -> ExitCode {
                 Some(s) => opts.spare_delay = Some(SimDuration::from_secs_f64(s)),
                 None => return ExitCode::FAILURE,
             },
+            "--scrub" => match value("--scrub").and_then(|v| v.parse::<f64>().ok()) {
+                Some(iops) => {
+                    scrub.enabled = true;
+                    scrub.iops_budget = iops;
+                }
+                None => return ExitCode::FAILURE,
+            },
+            "--latent" => match value("--latent").and_then(|v| v.parse::<f64>().ok()) {
+                Some(rate) => scrub.latent_rate_per_disk_hour = rate,
+                None => return ExitCode::FAILURE,
+            },
+            "--tour" => match value("--tour").and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) => scrub.tour_period = SimDuration::from_secs_f64(s),
+                None => return ExitCode::FAILURE,
+            },
             "--json" => json = true,
             other => {
                 eprintln!("unknown option '{other}'");
@@ -185,6 +206,7 @@ fn run(args: &[String]) -> ExitCode {
 
     let mut cfg = ArrayConfig::paper_default(policy);
     cfg.disks = disks;
+    cfg.scrub = scrub;
     if let Err(e) = cfg.validate() {
         eprintln!("invalid configuration: {e}");
         return ExitCode::FAILURE;
@@ -235,11 +257,27 @@ fn run(args: &[String]) -> ExitCode {
         "scrubbing    {} stripes in {} batches",
         m.stripes_scrubbed, m.scrub_batches
     );
+    if cfg.scrub.enabled || cfg.scrub.latent_rate_per_disk_hour > 0.0 {
+        println!(
+            "tour scrub   {} tours (mean {:.1}s), {} sectors read, latent {} found / {} repaired",
+            m.scrub_tours,
+            m.mean_tour_secs,
+            m.tour_sectors_read,
+            m.latent_detected,
+            m.latent_repaired
+        );
+    }
     let avail = availability(&cfg, m);
     println!(
         "MTTDL        disk-related {:.2e} h, overall {:.2e} h",
         avail.mttdl_disk, avail.mttdl_overall
     );
+    if avail.mttdl_latent.is_finite() {
+        println!(
+            "MTTDL latent {:.2e} h ({:.3} B/h)",
+            avail.mttdl_latent, avail.mdlr_latent
+        );
+    }
     println!(
         "MDLR         disk {:.3} B/h (unprotected part {:.3}), overall {:.0} B/h",
         avail.mdlr_disk, avail.mdlr_unprotected, avail.mdlr_overall
@@ -250,6 +288,12 @@ fn run(args: &[String]) -> ExitCode {
             "disk {} failed at {}: {} dirty stripes, {} data units lost ({} bytes)",
             loss.failed_disk, loss.at, loss.dirty_stripes, loss.lost_units, loss.lost_bytes
         );
+        if loss.latent_lost_units > 0 {
+            println!(
+                "latent loss  {} units ({} bytes) from undetected sector errors",
+                loss.latent_lost_units, loss.latent_lost_bytes
+            );
+        }
     }
     if let Some(t) = result.reprotected_at {
         println!("NVRAM-loss sweep completed at {t}");

@@ -9,7 +9,11 @@
 
 use afraid::config::ArrayConfig;
 use afraid::driver::{run_trace, RunOptions};
+use afraid::faults::{assess_loss, LatentErrors};
+use afraid::layout::Layout;
+use afraid::nvram::{MarkGranularity, MarkingMemory};
 use afraid::policy::ParityPolicy;
+use afraid::regions::RegionMap;
 use afraid_sim::time::SimTime;
 use afraid_trace::record::{IoRecord, ReqKind, Trace};
 use proptest::prelude::*;
@@ -156,6 +160,99 @@ proptest! {
         let b = run_trace(&cfg, &trace, &RunOptions::default());
         prop_assert_eq!(a.metrics.mean_io_ms, b.metrics.mean_io_ms);
         prop_assert_eq!(a.metrics.io, b.metrics.io);
+        prop_assert_eq!(a.end, b.end);
+    }
+
+    /// DataLossReport invariants hold for arbitrary mark sets and
+    /// latent error placements, assessed directly against the marking
+    /// memory (no simulation in the loop): the counters, the detail
+    /// vectors, and the losslessness predicate must all agree.
+    #[test]
+    fn loss_report_invariants_with_latent_errors(
+        dirty_raw in prop::collection::vec(0u64..100, 0..20),
+        errors in prop::collection::vec(
+            (0u32..5, 0u64..1600, 0u64..10_000),
+            0..30,
+        ),
+        failed_disk in 0u32..5,
+        at_ms in 5_000u64..15_000,
+    ) {
+        let dirty: std::collections::BTreeSet<u64> = dirty_raw.into_iter().collect();
+        // 100 stripes of 5 x 8 KB units over 1600-sector disks.
+        let layout = Layout::new(5, 8192, 1600);
+        let mut marks = MarkingMemory::new(layout.stripes(), MarkGranularity::STRIPE);
+        for &s in &dirty {
+            marks.mark(s, 0, 0);
+        }
+        let errs: Vec<(u32, u64, SimTime)> = errors
+            .iter()
+            .map(|&(d, sector, ms)| (d, sector, SimTime::from_millis(ms)))
+            .collect();
+        let latent = LatentErrors::with_errors(5, &errs);
+        let at = SimTime::from_millis(at_ms);
+        let report = assess_loss(
+            &layout,
+            &marks,
+            None,
+            &RegionMap::none(),
+            Some(&latent),
+            failed_disk,
+            at,
+        );
+
+        prop_assert_eq!(report.dirty_stripes, dirty.len() as u64);
+        prop_assert!(report.parity_only + report.lost_units <= report.dirty_stripes);
+        prop_assert_eq!(report.lost.len() as u64, report.lost_units);
+        prop_assert_eq!(report.latent_lost.len() as u64, report.latent_lost_units);
+        prop_assert_eq!(report.lost_bytes, report.lost_units * 8192);
+        prop_assert_eq!(
+            report.is_lossless(),
+            report.lost_bytes + report.latent_lost_bytes == 0
+        );
+        // Latent loss needs a latent error: no errors active by `at`
+        // means no latent loss.
+        if errs.iter().all(|&(_, _, t)| t > at) {
+            prop_assert_eq!(report.latent_lost_units, 0);
+        }
+        // Latent loss only arises on *clean* stripes (dirty ones are
+        // already charged to the ordinary loss path).
+        for &(stripe, _) in &report.latent_lost {
+            prop_assert!(!marks.is_marked(stripe), "latent loss on dirty stripe {stripe}");
+        }
+        // Assessment is a pure function of its inputs.
+        let again = assess_loss(
+            &layout,
+            &marks,
+            None,
+            &RegionMap::none(),
+            Some(&latent),
+            failed_disk,
+            at,
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
+    }
+
+    /// Scrub-and-latent-enabled runs are bit-for-bit deterministic,
+    /// whatever the workload.
+    #[test]
+    fn scrubbed_runs_are_deterministic(
+        reqs in prop::collection::vec(req_strategy(), 1..30),
+        rate in 0.0f64..500.0,
+    ) {
+        let trace = build_trace(&reqs);
+        let mut cfg = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        cfg.scrub.enabled = true;
+        cfg.scrub.iops_budget = 300.0;
+        cfg.scrub.latent_rate_per_disk_hour = rate;
+        let a = run_trace(&cfg, &trace, &RunOptions::default());
+        let b = run_trace(&cfg, &trace, &RunOptions::default());
+        prop_assert_eq!(
+            serde_json::to_string(&a.metrics).unwrap(),
+            serde_json::to_string(&b.metrics).unwrap()
+        );
         prop_assert_eq!(a.end, b.end);
     }
 

@@ -1,0 +1,453 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! implementations over the raw `proc_macro` token API (no `syn` or
+//! `quote` — the registry is unreachable in this build environment).
+//!
+//! Supported item shapes — exactly what this workspace uses:
+//!
+//! * structs with named fields (serialised as maps),
+//! * newtype structs (transparent, like real serde),
+//! * tuple structs (sequences),
+//! * enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, like real serde's default).
+//!
+//! `#[serde(...)]` attributes and generic parameters are not
+//! supported and fail loudly at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives `serde::Serialize` for the item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` for the item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive stub: generic types are not supported (`{name}`)");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past leading `#[...]` attributes and a `pub`/`pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Punct(b)) = tokens.get(*i + 1) {
+                    // Inner attribute `#![...]` — skip the bang too.
+                    if b.as_char() == '!' {
+                        *i += 1;
+                    }
+                }
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// `#[serde(...)]` attributes would silently change the wire format, so
+/// reject them explicitly.
+fn check_no_serde_attr(tokens: &[TokenTree], i: usize) {
+    if let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+        (tokens.get(i), tokens.get(i + 1))
+    {
+        if p.as_char() == '#' && g.stream().to_string().starts_with("serde") {
+            panic!("serde derive stub: #[serde(...)] attributes are not supported");
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        check_no_serde_attr(&tokens, i);
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected field name, got {other}"),
+        };
+        fields.push(field);
+        i += 1;
+        assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde derive: expected `:` after field name"
+        );
+        i += 1;
+        skip_type(&tokens, &mut i);
+        // Skip the separating comma, if any.
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level comma (angle-bracket
+/// nesting tracked by hand: `<`/`>` are plain puncts, not groups).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        arity += 1;
+        skip_type(&tokens, &mut i);
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        check_no_serde_attr(&tokens, i);
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde derive stub: explicit discriminants are not supported");
+        }
+        variants.push(Variant { name, kind });
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Map(vec![{}])", entries.join(", ")),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Seq(vec![{}])", items.join(", ")),
+            )
+        }
+        Shape::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            (name, format!("match self {{ {} }}", arms.join(" ")))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(name: &str, v: &Variant) -> String {
+    let var = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{name}::{var} => \
+             ::serde::Value::Str(::std::string::String::from(\"{var}\")),"
+        ),
+        VariantKind::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{var} {{ {binds} }} => ::serde::Value::Map(vec![(\
+                 ::std::string::String::from(\"{var}\"), \
+                 ::serde::Value::Map(vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+        VariantKind::Tuple(1) => format!(
+            "{name}::{var}(x0) => ::serde::Value::Map(vec![(\
+             ::std::string::String::from(\"{var}\"), \
+             ::serde::Serialize::to_value(x0))]),"
+        ),
+        VariantKind::Tuple(arity) => {
+            let binds: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{name}::{var}({}) => ::serde::Value::Map(vec![(\
+                 ::std::string::String::from(\"{var}\"), \
+                 ::serde::Value::Seq(vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::field(v, \"{name}\", \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => (
+            name,
+            format!(
+                "::std::result::Result::Ok({name}(\
+                 ::serde::Deserialize::from_value(v)?))"
+            ),
+        ),
+        Shape::TupleStruct { name, arity } => (name, de_seq_body(name, *arity)),
+        Shape::UnitStruct { name } => (
+            name,
+            format!("{{ let _ = v; ::std::result::Result::Ok({name}) }}"),
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants.iter().map(|v| de_variant_arm(name, v)).collect();
+            (
+                name,
+                format!(
+                    "{{ let (tag, payload) = ::serde::variant(v, \"{name}\")?;\n\
+                     match tag {{ {} other => ::std::result::Result::Err(\
+                     ::serde::unknown_variant(\"{name}\", other)), }} }}",
+                    arms.join(" ")
+                ),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Deserialises `ctor(items[0], items[1], ...)` from a `Seq` in `v`.
+fn de_seq_body(ctor: &str, arity: usize) -> String {
+    let items: Vec<String> = (0..arity)
+        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+        .collect();
+    format!(
+        "match v {{\n\
+         ::serde::Value::Seq(items) if items.len() == {arity} => \
+         ::std::result::Result::Ok({ctor}({})),\n\
+         other => ::std::result::Result::Err(::serde::Error::custom(\
+         format!(\"{ctor}: expected {arity}-element sequence, got {{other:?}}\"))),\n\
+         }}",
+        items.join(", ")
+    )
+}
+
+fn de_variant_arm(name: &str, v: &Variant) -> String {
+    let var = &v.name;
+    let need_payload = format!(
+        "let p = payload.ok_or_else(|| ::serde::Error::custom(\
+         \"{name}::{var}: missing payload\"))?;"
+    );
+    match &v.kind {
+        VariantKind::Unit => format!("\"{var}\" => ::std::result::Result::Ok({name}::{var}),"),
+        VariantKind::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::field(p, \"{name}::{var}\", \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "\"{var}\" => {{ {need_payload} \
+                 ::std::result::Result::Ok({name}::{var} {{ {} }}) }},",
+                inits.join(", ")
+            )
+        }
+        VariantKind::Tuple(1) => format!(
+            "\"{var}\" => {{ {need_payload} \
+             ::std::result::Result::Ok({name}::{var}(\
+             ::serde::Deserialize::from_value(p)?)) }},"
+        ),
+        VariantKind::Tuple(arity) => {
+            let inner = de_seq_body(&format!("{name}::{var}"), *arity);
+            format!("\"{var}\" => {{ {need_payload} let v = p; {inner} }},")
+        }
+    }
+}
