@@ -1,6 +1,6 @@
 //! Mean data loss rate (paper §3.2, equations 3–5).
 
-use crate::mttdl::{mttdl_latent, mttdl_raid0, mttdl_raid5_catastrophic};
+use crate::mttdl::{mttdl_evict, mttdl_latent, mttdl_raid0, mttdl_raid5_catastrophic};
 use crate::params::ModelParams;
 use crate::{BytesPerHour, Hours};
 
@@ -66,6 +66,24 @@ pub fn mdlr_latent(
         return 0.0;
     }
     params.stripe_unit as f64 / mttdl
+}
+
+/// MDLR of the proactive-eviction loss mode: a survivor failing
+/// inside an eviction's rebuild window loses (conservatively) the
+/// evicted disk's worth of not-yet-rebuilt data. The event rate is
+/// `1/MTTDL_evict` (see [`mttdl_evict`](crate::mttdl::mttdl_evict)).
+/// Zero when the eviction term is infinite.
+pub fn mdlr_evict(
+    params: &ModelParams,
+    n: u32,
+    rate_per_hour: f64,
+    window_hours: f64,
+) -> BytesPerHour {
+    let mttdl = mttdl_evict(params, n, rate_per_hour, window_hours);
+    if mttdl.is_infinite() {
+        return 0.0;
+    }
+    params.disk_bytes as f64 / mttdl
 }
 
 /// MDLR contributed by support components: losing the array loses all
@@ -165,6 +183,20 @@ mod tests {
     fn latent_mdlr_zero_when_clean() {
         assert_eq!(mdlr_latent(&p(), 4, 0.0, 1.0), 0.0);
         assert_eq!(mdlr_latent(&p(), 4, 1e-6, 0.0), 0.0);
+    }
+
+    #[test]
+    fn evict_mdlr_zero_when_no_evictions() {
+        assert_eq!(mdlr_evict(&p(), 4, 0.0, 1.0), 0.0);
+        assert_eq!(mdlr_evict(&p(), 4, 1e-4, 0.0), 0.0);
+    }
+
+    #[test]
+    fn evict_mdlr_charges_a_disk_per_event() {
+        // Rate 1e-4/h, window 2 h: event rate 1e-4 · 8/2e6 = 4e-10/h,
+        // each costing one 2 GB disk → 0.8 bytes/hour.
+        let m = mdlr_evict(&p(), 4, 1e-4, 2.0);
+        assert!((m - 0.8).abs() < 1e-9, "mdlr {m}");
     }
 
     #[test]

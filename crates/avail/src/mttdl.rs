@@ -153,6 +153,41 @@ pub fn mttdl_latent(
     params.mttf_disk() / (f64::from(n + 1) * p_exposed)
 }
 
+/// Proactive-eviction loss mode: a health scoreboard that retires
+/// fail-slow disks opens a *deliberate* exposure window — from the
+/// eviction until the rebuild completes the array runs degraded, and
+/// a genuine disk failure inside that window loses data.
+///
+/// ```text
+/// MTTDL_evict = 1 / (λ_evict · min(1, N · w / MTTFdisk))
+/// ```
+///
+/// where `λ_evict` is the eviction rate (per hour) and `w` the mean
+/// window an eviction stays open (hours); `min(1, N·w/MTTF)` is the
+/// linearised probability that one of the `N` survivors dies inside
+/// the window. Returns infinity when either factor is zero — an array
+/// that never evicts pays nothing for the feature.
+///
+/// # Panics
+///
+/// Panics if `rate_per_hour` or `window_hours` is negative or `NaN`.
+pub fn mttdl_evict(params: &ModelParams, n: u32, rate_per_hour: f64, window_hours: f64) -> Hours {
+    assert!(
+        rate_per_hour >= 0.0 && !rate_per_hour.is_nan(),
+        "eviction rate out of range: {rate_per_hour}"
+    );
+    assert!(
+        window_hours >= 0.0 && !window_hours.is_nan(),
+        "eviction window out of range: {window_hours}"
+    );
+    let p_loss = (f64::from(n) * window_hours / params.mttf_disk()).min(1.0);
+    let rate = rate_per_hour * p_loss;
+    if rate == 0.0 {
+        return f64::INFINITY;
+    }
+    1.0 / rate
+}
+
 /// Harmonically combines independent MTTDL contributions (failure
 /// rates add). Infinite contributions are no-ops; an empty slice is
 /// infinitely reliable.
@@ -278,6 +313,42 @@ mod tests {
         // — exactly the RAID 0 figure for the same spindle count.
         let m = mttdl_latent(&p(), 4, 1e-4, p().mttf_disk());
         assert_eq!(m, mttdl_raid0(&p(), 5));
+    }
+
+    #[test]
+    fn evict_term_vanishes_without_evictions_or_window() {
+        assert_eq!(mttdl_evict(&p(), 4, 0.0, 1.0), f64::INFINITY);
+        assert_eq!(mttdl_evict(&p(), 4, 1e-4, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn evict_term_scales_inversely_with_rate_and_window() {
+        // Twice the evictions, or windows twice as long, double the
+        // loss rate while the linearised probability is below the cap.
+        let base = mttdl_evict(&p(), 4, 1e-4, 2.0);
+        assert!((mttdl_evict(&p(), 4, 2e-4, 2.0) / base - 0.5).abs() < 1e-9);
+        assert!((mttdl_evict(&p(), 4, 1e-4, 4.0) / base - 0.5).abs() < 1e-9);
+        // Closed form: 1 / (1e-4 · 4·2/2e6) = 2.5e9 hours.
+        assert!((base - 2.5e9).abs() / 2.5e9 < 1e-12, "base {base:.3e}");
+    }
+
+    #[test]
+    fn evict_probability_saturates() {
+        // A window so long a survivor failure is certain: the term
+        // collapses to 1/λ_evict.
+        let m = mttdl_evict(&p(), 4, 1e-3, p().mttf_disk());
+        assert_eq!(m, 1e3);
+    }
+
+    #[test]
+    fn rare_evictions_barely_move_the_combined_figure() {
+        // One eviction per ~10k hours with hour-scale rebuild windows
+        // sits far above the unprotected-window term.
+        let evict = mttdl_evict(&p(), 4, 1e-4, 1.0);
+        let afraid = mttdl_afraid(&p(), 4, 0.05);
+        let total = combine(&[afraid, evict]);
+        assert!(total <= afraid);
+        assert!(total > afraid * 0.99, "evict term should be minor here");
     }
 
     #[test]

@@ -8,9 +8,11 @@
 use serde::{Deserialize, Serialize};
 
 use crate::mdlr::{
-    mdlr_latent, mdlr_raid0, mdlr_raid5_catastrophic, mdlr_support, mdlr_unprotected,
+    mdlr_evict, mdlr_latent, mdlr_raid0, mdlr_raid5_catastrophic, mdlr_support, mdlr_unprotected,
 };
-use crate::mttdl::{combine, mttdl_afraid, mttdl_latent, mttdl_raid0, mttdl_raid5_catastrophic};
+use crate::mttdl::{
+    combine, mttdl_afraid, mttdl_evict, mttdl_latent, mttdl_raid0, mttdl_raid5_catastrophic,
+};
 use crate::params::ModelParams;
 use crate::{BytesPerHour, Hours};
 
@@ -24,6 +26,17 @@ pub struct LatentExposure {
     /// is effectively the disk MTTF (errors are found only when the
     /// disk dies).
     pub dwell_hours: f64,
+}
+
+/// Proactive-eviction exposure inputs for the availability model: how
+/// often the health scoreboard retires a disk, and how long each
+/// retirement leaves the array degraded until the rebuild completes.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EvictionExposure {
+    /// Evictions per hour.
+    pub rate_per_hour: f64,
+    /// Mean hours an eviction's degraded window stays open.
+    pub window_hours: f64,
 }
 
 /// Which array design a report describes.
@@ -65,6 +78,11 @@ pub struct AvailabilityReport {
     pub mttdl_latent: Hours,
     /// MDLR of the latent-sector-error mode alone, bytes/hour.
     pub mdlr_latent: BytesPerHour,
+    /// MTTDL of the proactive-eviction mode alone, hours (infinite
+    /// when no eviction exposure was supplied).
+    pub mttdl_evict: Hours,
+    /// MDLR of the proactive-eviction mode alone, bytes/hour.
+    pub mdlr_evict: BytesPerHour,
 }
 
 impl AvailabilityReport {
@@ -112,6 +130,37 @@ impl AvailabilityReport {
         mean_parity_lag: f64,
         latent: Option<LatentExposure>,
     ) -> AvailabilityReport {
+        Self::build_with_exposures(
+            design,
+            params,
+            n_data,
+            frac_unprotected,
+            mean_parity_lag,
+            latent,
+            None,
+        )
+    }
+
+    /// Like [`build_with_latent`](Self::build_with_latent),
+    /// additionally folding a proactive-eviction exposure — the
+    /// degraded windows a health scoreboard opens by retiring
+    /// fail-slow disks — into the disk-related figures.
+    ///
+    /// Like the latent mode, eviction applies to the parity designs
+    /// only: a RAID 0 has no spare/rebuild pipeline to evict into.
+    ///
+    /// # Panics
+    ///
+    /// As [`build`](Self::build).
+    pub fn build_with_exposures(
+        design: DesignKind,
+        params: &ModelParams,
+        n_data: u32,
+        frac_unprotected: f64,
+        mean_parity_lag: f64,
+        latent: Option<LatentExposure>,
+        evict: Option<EvictionExposure>,
+    ) -> AvailabilityReport {
         let disks = n_data + 1;
         let (mttdl_disk, mdlr_disk, mdlr_unprot, frac, lag) = match design {
             DesignKind::Raid0 => {
@@ -149,12 +198,20 @@ impl AvailabilityReport {
                 mdlr_latent(params, n_data, l.rate_per_disk_hour, l.dwell_hours),
             ),
         };
-        let mttdl_disk = if mttdl_lat.is_finite() {
-            combine(&[mttdl_disk, mttdl_lat])
-        } else {
-            mttdl_disk
+        let (mttdl_ev, mdlr_ev) = match (design, evict) {
+            (DesignKind::Raid0, _) | (_, None) => (f64::INFINITY, 0.0),
+            (_, Some(e)) => (
+                mttdl_evict(params, n_data, e.rate_per_hour, e.window_hours),
+                mdlr_evict(params, n_data, e.rate_per_hour, e.window_hours),
+            ),
         };
-        let mdlr_disk = mdlr_disk + mdlr_lat;
+        let mut mttdl_disk = mttdl_disk;
+        for extra in [mttdl_lat, mttdl_ev] {
+            if extra.is_finite() {
+                mttdl_disk = combine(&[mttdl_disk, extra]);
+            }
+        }
+        let mdlr_disk = mdlr_disk + mdlr_lat + mdlr_ev;
         let mttdl_overall = combine(&[mttdl_disk, params.mttdl_support]);
         let mdlr_overall = mdlr_disk + mdlr_support(params, n_data, params.mttdl_support);
         AvailabilityReport {
@@ -169,6 +226,8 @@ impl AvailabilityReport {
             mdlr_overall,
             mttdl_latent: mttdl_lat,
             mdlr_latent: mdlr_lat,
+            mttdl_evict: mttdl_ev,
+            mdlr_evict: mdlr_ev,
         }
     }
 }
@@ -287,6 +346,46 @@ mod tests {
         let unscrubbed = build(p().mttf_disk());
         let scrubbed = build(0.25);
         assert!(scrubbed.mttdl_latent > unscrubbed.mttdl_latent * 100.0);
+    }
+
+    #[test]
+    fn eviction_exposure_degrades_the_disk_figures() {
+        let clean = AvailabilityReport::build(DesignKind::Afraid, &p(), 4, 0.05, 0.0);
+        let exposed = AvailabilityReport::build_with_exposures(
+            DesignKind::Afraid,
+            &p(),
+            4,
+            0.05,
+            0.0,
+            None,
+            Some(EvictionExposure {
+                rate_per_hour: 1e-2,
+                window_hours: 2.0,
+            }),
+        );
+        assert!(exposed.mttdl_evict.is_finite());
+        assert!(exposed.mttdl_disk < clean.mttdl_disk);
+        assert!(exposed.mdlr_disk > clean.mdlr_disk);
+        assert_eq!(clean.mttdl_evict, f64::INFINITY);
+        assert_eq!(clean.mdlr_evict, 0.0);
+    }
+
+    #[test]
+    fn raid0_ignores_eviction_exposure() {
+        let r = AvailabilityReport::build_with_exposures(
+            DesignKind::Raid0,
+            &p(),
+            4,
+            0.0,
+            0.0,
+            None,
+            Some(EvictionExposure {
+                rate_per_hour: 1.0,
+                window_hours: 1.0,
+            }),
+        );
+        assert_eq!(r.mttdl_evict, f64::INFINITY);
+        assert_eq!(r.mdlr_evict, 0.0);
     }
 
     #[test]

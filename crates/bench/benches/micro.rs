@@ -46,14 +46,16 @@ fn bench_disk_service(c: &mut Criterion) {
                 let mut t = SimTime::ZERO;
                 for _ in 0..100 {
                     let lba = rng.next_below(cap);
-                    t = disk.submit(
-                        t,
-                        &DiskRequest {
-                            lba,
-                            sectors: 16,
-                            op: OpKind::Read,
-                        },
-                    );
+                    t = disk
+                        .submit(
+                            t,
+                            &DiskRequest {
+                                lba,
+                                sectors: 16,
+                                op: OpKind::Read,
+                            },
+                        )
+                        .expect_ok();
                 }
                 black_box(t)
             },

@@ -3,7 +3,7 @@
 use afraid_avail::params::ModelParams;
 use afraid_disk::model::DiskModel;
 use afraid_disk::sched::Policy;
-use afraid_sim::time::SimDuration;
+use afraid_sim::time::{SimDuration, SimTime};
 
 use crate::nvram::MarkGranularity;
 use crate::policy::ParityPolicy;
@@ -50,6 +50,8 @@ pub struct ArrayConfig {
     pub regions: RegionMap,
     /// Latent-error injection and background-scrubbing knobs.
     pub scrub: ScrubConfig,
+    /// Transient-fault injection and retry/eviction knobs.
+    pub faults: FaultConfig,
 }
 
 /// Configuration of the latent sector error process and the
@@ -84,6 +86,85 @@ impl Default for ScrubConfig {
     }
 }
 
+/// Transient per-I/O fault injection and the controller's recovery
+/// policy (see [`afraid_disk::fault`] and the retry machinery in
+/// [`crate::controller`]).
+///
+/// The default configuration is *inactive*: no injectors are built,
+/// no random numbers are drawn and no extra events are scheduled, so
+/// a run with the default `FaultConfig` is bit-identical to one from
+/// before the subsystem existed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Probability one disk command attempt reports a transient media
+    /// error (retries redraw).
+    pub media_error_per_io: f64,
+    /// Probability one disk command attempt hangs until the command
+    /// timeout.
+    pub timeout_per_io: f64,
+    /// Command timeout: a command whose service exceeds this reports a
+    /// timeout to the controller at the deadline.
+    pub io_timeout: SimDuration,
+    /// Retries after a failed first attempt, with exponential backoff.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub retry_backoff: SimDuration,
+    /// Stop retrying an I/O this long after its first attempt.
+    pub request_deadline: SimDuration,
+    /// EWMA health score at which a disk is proactively evicted
+    /// (0 disables eviction).
+    pub evict_threshold: f64,
+    /// EWMA weight of the newest observation in the health score.
+    pub health_alpha: f64,
+    /// Spare installation delay after a health eviction, used when the
+    /// run options don't specify one.
+    pub evict_spare_delay: SimDuration,
+    /// Fail-slow window, if one disk should limp.
+    pub fail_slow: Option<FailSlowConfig>,
+    /// Master seed for the per-disk fault streams.
+    pub seed: u64,
+}
+
+/// One disk limps: mechanical service times inflate by `factor` for
+/// commands starting within `duration` of `start`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FailSlowConfig {
+    /// Which disk limps.
+    pub disk: u32,
+    /// When the limp begins.
+    pub start: SimTime,
+    /// How long it lasts.
+    pub duration: SimDuration,
+    /// Service-time multiplier (>= 1).
+    pub factor: f64,
+}
+
+impl FaultConfig {
+    /// True when any fault process is configured. Inactive configs
+    /// install no injectors, keeping the no-fault path byte-identical.
+    pub fn active(&self) -> bool {
+        self.media_error_per_io > 0.0 || self.timeout_per_io > 0.0 || self.fail_slow.is_some()
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            media_error_per_io: 0.0,
+            timeout_per_io: 0.0,
+            io_timeout: SimDuration::from_millis(500),
+            max_retries: 4,
+            retry_backoff: SimDuration::from_millis(2),
+            request_deadline: SimDuration::from_secs(10),
+            evict_threshold: 0.0,
+            health_alpha: 0.3,
+            evict_spare_delay: SimDuration::from_secs(10),
+            fail_slow: None,
+            seed: 0xf417_5eed,
+        }
+    }
+}
+
 impl ArrayConfig {
     /// The paper's experimental configuration with the given policy.
     pub fn paper_default(policy: ParityPolicy) -> ArrayConfig {
@@ -102,6 +183,7 @@ impl ArrayConfig {
             spin_synchronized: true,
             regions: RegionMap::none(),
             scrub: ScrubConfig::default(),
+            faults: FaultConfig::default(),
         }
     }
 
@@ -123,6 +205,7 @@ impl ArrayConfig {
             spin_synchronized: true,
             regions: RegionMap::none(),
             scrub: ScrubConfig::default(),
+            faults: FaultConfig::default(),
         }
     }
 
@@ -175,6 +258,51 @@ impl ArrayConfig {
                 "latent error rate must be finite and non-negative, got {}",
                 self.scrub.latent_rate_per_disk_hour
             ));
+        }
+        let f = &self.faults;
+        for (name, p) in [
+            ("media error probability", f.media_error_per_io),
+            ("timeout probability", f.timeout_per_io),
+            ("evict threshold", f.evict_threshold),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be in [0, 1], got {p}"));
+            }
+        }
+        if f.io_timeout.is_zero() {
+            return Err("I/O timeout must be positive".to_string());
+        }
+        if f.retry_backoff.is_zero() {
+            return Err("retry backoff must be positive".to_string());
+        }
+        if f.request_deadline.is_zero() {
+            return Err("request deadline must be positive".to_string());
+        }
+        if f.max_retries > 16 {
+            return Err(format!("max retries must be <= 16, got {}", f.max_retries));
+        }
+        if !(f.health_alpha > 0.0 && f.health_alpha <= 1.0) {
+            return Err(format!(
+                "health EWMA alpha must be in (0, 1], got {}",
+                f.health_alpha
+            ));
+        }
+        if f.evict_spare_delay.is_zero() {
+            return Err("evict spare delay must be positive".to_string());
+        }
+        if let Some(fs) = f.fail_slow {
+            if fs.disk >= self.disks {
+                return Err(format!(
+                    "fail-slow disk {} out of range for {} disks",
+                    fs.disk, self.disks
+                ));
+            }
+            if !fs.factor.is_finite() || fs.factor < 1.0 {
+                return Err(format!("fail-slow factor must be >= 1, got {}", fs.factor));
+            }
+            if fs.duration.is_zero() {
+                return Err("fail-slow duration must be positive".to_string());
+            }
         }
         Ok(())
     }
@@ -230,6 +358,54 @@ mod tests {
         let mut c = ArrayConfig::small_test(ParityPolicy::IdleOnly);
         c.scrub.latent_rate_per_disk_hour = -1.0;
         assert!(c.validate().is_err());
+
+        let mut c = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        c.faults.media_error_per_io = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        c.faults.timeout_per_io = -0.1;
+        assert!(c.validate().is_err());
+
+        let mut c = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        c.faults.io_timeout = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        c.faults.health_alpha = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        c.faults.max_retries = 99;
+        assert!(c.validate().is_err());
+
+        let mut c = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        c.faults.fail_slow = Some(FailSlowConfig {
+            disk: 7,
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(1),
+            factor: 2.0,
+        });
+        assert!(c.validate().is_err());
+
+        let mut c = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        c.faults.fail_slow = Some(FailSlowConfig {
+            disk: 1,
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(1),
+            factor: 0.5,
+        });
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn faults_are_inactive_by_default() {
+        let c = ArrayConfig::paper_default(ParityPolicy::IdleOnly);
+        assert!(!c.faults.active());
+        let mut c = c;
+        c.faults.media_error_per_io = 1e-4;
+        assert!(c.faults.active());
+        assert!(c.validate().is_ok());
     }
 
     #[test]

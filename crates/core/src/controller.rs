@@ -46,13 +46,16 @@ use std::collections::HashMap;
 
 use afraid_disk::disk::{Disk, DiskRequest, OpKind};
 use afraid_disk::sched::Scheduler;
+use afraid_disk::{FailSlowWindow, FaultInjector, FaultProfile, IoOutcome};
 use afraid_sim::queue::{EventId, EventQueue};
+use afraid_sim::rng::SplitMix64;
 use afraid_sim::time::{SimDuration, SimTime};
 use afraid_trace::record::{IoRecord, ReqKind};
 
 use crate::cache::ReadCache;
 use crate::config::ArrayConfig;
 use crate::faults::LatentErrors;
+use crate::health::Scoreboard;
 use crate::idle::IdleDetector;
 use crate::layout::Layout;
 use crate::metrics::{IoCause, MetricsBuilder};
@@ -123,6 +126,27 @@ pub enum Ev {
     /// The tour scrubber's IOPS budget has recharged; try to plan the
     /// next batch.
     TourTick,
+    /// A faulted disk I/O reached its report time (success after
+    /// retry, or another error).
+    IoDone {
+        /// Flight table key.
+        flight: u64,
+    },
+    /// The retry backoff for a faulted I/O expired; resubmit it.
+    IoRetry {
+        /// Flight table key.
+        flight: u64,
+    },
+    /// The health scoreboard condemned a disk and its state has
+    /// settled; the driver turns this into a failure + spare + rebuild
+    /// (mirrors `FailDisk`, which is also driver-handled).
+    Evict {
+        /// Index of the condemned disk.
+        disk: u32,
+    },
+    /// A fire-and-forget repair write (read-error scrubbing)
+    /// completed; nothing depends on it.
+    RepairIo,
 }
 
 /// One disk I/O in a request plan.
@@ -133,6 +157,28 @@ struct PlannedIo {
     sectors: u64,
     op: OpKind,
     cause: IoCause,
+}
+
+/// How the most recent attempt of an in-flight faulted I/O ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FlightOutcome {
+    Ok,
+    MediaError,
+    Timeout,
+}
+
+/// Retry state for one disk I/O that drew a transient fault. Clean
+/// I/Os never allocate a flight: the fault-free path is structurally
+/// identical to an array without fault injection.
+#[derive(Clone, Copy, Debug)]
+struct Flight {
+    io: PlannedIo,
+    /// The completion event the rest of the machine is waiting for.
+    done: Ev,
+    /// Attempts submitted so far (the first counts).
+    attempts: u32,
+    first_issued: SimTime,
+    last: FlightOutcome,
 }
 
 /// How a stripe's parity is settled when a RAID 5-mode write completes.
@@ -189,6 +235,9 @@ struct ScrubState {
     stripes: Vec<u64>,
     pending: u32,
     phase: ScrubPhase,
+    /// Stripes whose scrub I/O exhausted its retries: their marks stay
+    /// set and a later pass retries them.
+    failed: Vec<u64>,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -237,6 +286,9 @@ struct Rebuild {
     /// Set when the next batch could not start because its first
     /// stripe had writes in flight; completions retry.
     stalled: bool,
+    /// Set when a rebuild I/O of the current batch exhausted its
+    /// retries: the batch is redone instead of advancing the cursor.
+    failed: bool,
 }
 
 /// The array controller plus its event state.
@@ -287,6 +339,18 @@ pub struct Controller {
     /// Set when the post-NVRAM-failure sweep finishes.
     pub(crate) reprotected_at: Option<SimTime>,
     nvram_recovery: bool,
+    /// Retry state for faulted I/Os, keyed by flight id. Empty unless
+    /// fault injection is active.
+    flights: HashMap<u64, Flight>,
+    next_flight_id: u64,
+    /// Per-disk EWMA health scores, when fault injection is active and
+    /// eviction enabled.
+    health: Option<Scoreboard>,
+    /// A condemned disk draining toward eviction (patient mode while
+    /// the settle scrub clears the marks).
+    evicting: Option<u32>,
+    /// When the scoreboard evicted a disk, if it did.
+    pub(crate) evicted_at: Option<SimTime>,
     /// Latent sector error process, when configured.
     latent: Option<LatentErrors>,
     /// Tour scrubber planning state, when enabled.
@@ -322,7 +386,7 @@ impl Controller {
         let disk_sectors = cfg.disk_model.geometry.capacity_sectors();
         let layout = Layout::new(cfg.disks, cfg.stripe_unit_bytes, disk_sectors);
         let rev = cfg.disk_model.revolution();
-        let disks = (0..cfg.disks)
+        let mut disks: Vec<Disk> = (0..cfg.disks)
             .map(|i| {
                 let phase = if cfg.spin_synchronized {
                     SimDuration::ZERO
@@ -332,6 +396,39 @@ impl Controller {
                 Disk::new(cfg.disk_model.clone(), phase)
             })
             .collect();
+        // Transient-fault injection: one forked RNG substream per disk
+        // so per-disk fault processes are independent and the whole
+        // run stays deterministic under a single seed. With the fault
+        // process inactive no injector is installed at all, keeping
+        // the fault-free path structurally identical.
+        if cfg.faults.active() {
+            let mut master = SplitMix64::new(cfg.faults.seed);
+            let profile = FaultProfile {
+                media_error_per_io: cfg.faults.media_error_per_io,
+                timeout_per_io: cfg.faults.timeout_per_io,
+                command_timeout: cfg.faults.io_timeout,
+            };
+            for (i, d) in disks.iter_mut().enumerate() {
+                let mut inj = FaultInjector::new(profile, master.fork());
+                if let Some(fs) = cfg.faults.fail_slow {
+                    if fs.disk as usize == i {
+                        inj = inj.with_fail_slow(FailSlowWindow {
+                            start: fs.start,
+                            until: fs.start + fs.duration,
+                            factor: fs.factor,
+                        });
+                    }
+                }
+                d.set_fault_injector(inj);
+            }
+        }
+        let health = (cfg.faults.active() && cfg.faults.evict_threshold > 0.0).then(|| {
+            Scoreboard::new(
+                cfg.disks,
+                cfg.faults.health_alpha,
+                cfg.faults.evict_threshold,
+            )
+        });
         let marks = MarkingMemory::new(layout.stripes(), cfg.mark_granularity);
         let engine = PolicyEngine::new(cfg.policy, cfg.params, cfg.n_data());
         let shadow = cfg.shadow.then(|| ShadowArray::new(layout));
@@ -388,6 +485,11 @@ impl Controller {
             rebuilt_at: None,
             reprotected_at: None,
             nvram_recovery: false,
+            flights: HashMap::new(),
+            next_flight_id: 0,
+            health,
+            evicting: None,
+            evicted_at: None,
             latent,
             tour,
             tour_batch: None,
@@ -508,6 +610,10 @@ impl Controller {
                 self.tour_tick = None;
                 self.maybe_start_tour();
             }
+            Ev::IoDone { flight } => self.on_io_done(flight),
+            Ev::IoRetry { flight } => self.on_io_retry(flight),
+            Ev::Evict { .. } => unreachable!("Evict is handled by the driver"),
+            Ev::RepairIo => {}
         }
     }
 
@@ -1086,7 +1192,9 @@ impl Controller {
         // recovery sweep restarts here too if it stalled on busy
         // stripes.
         let d = self.evaluate_policy();
-        if d.scrub_now || (self.nvram_recovery && self.marks.marked_count() > 0) {
+        if d.scrub_now
+            || ((self.nvram_recovery || self.evicting.is_some()) && self.marks.marked_count() > 0)
+        {
             self.start_scrub(true);
         }
         self.arm_idle_timer(d.scrub_on_idle);
@@ -1100,6 +1208,7 @@ impl Controller {
                 self.rebuild_next_batch();
             }
         }
+        self.try_finalize_eviction();
     }
 
     fn req_mut(&mut self, slot: u32) -> &mut ActiveReq {
@@ -1114,7 +1223,7 @@ impl Controller {
             self.events.schedule(self.now + FAILED_IO_LATENCY, ev);
             return;
         }
-        let done = self.disks[io.disk as usize].submit(
+        let outcome = self.disks[io.disk as usize].submit(
             self.now,
             &DiskRequest {
                 lba: io.lba,
@@ -1123,7 +1232,298 @@ impl Controller {
             },
         );
         self.metrics.record_io(io.cause);
-        self.events.schedule(done, ev);
+        match outcome {
+            IoOutcome::Ok(done) => {
+                self.note_disk_ok(io.disk);
+                self.events.schedule(done, ev);
+            }
+            IoOutcome::MediaError(report) => {
+                self.open_flight(io, ev, FlightOutcome::MediaError, report)
+            }
+            IoOutcome::Timeout(report) => self.open_flight(io, ev, FlightOutcome::Timeout, report),
+            // `is_failed` was checked above; a failure event cannot
+            // interleave because the machine is single-threaded.
+            IoOutcome::Failed => unreachable!("submit raced a disk failure"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transient faults: retry machine, reconstruct fallback, eviction
+    // ------------------------------------------------------------------
+
+    fn note_disk_ok(&mut self, disk: u32) {
+        if let Some(h) = &mut self.health {
+            h.record_ok(disk);
+        }
+    }
+
+    /// Installs retry state for an I/O whose first attempt drew a
+    /// fault; its completion is deferred to the fault's report time.
+    fn open_flight(&mut self, io: PlannedIo, done: Ev, last: FlightOutcome, report: SimTime) {
+        let id = self.next_flight_id;
+        self.next_flight_id += 1;
+        self.flights.insert(
+            id,
+            Flight {
+                io,
+                done,
+                attempts: 1,
+                first_issued: self.now,
+                last,
+            },
+        );
+        self.events.schedule(report, Ev::IoDone { flight: id });
+    }
+
+    /// A faulted I/O reached its report time: deliver the completion
+    /// on success, otherwise retry with exponential backoff until the
+    /// attempt budget or the per-request deadline runs out.
+    fn on_io_done(&mut self, id: u64) {
+        let fl = *self.flights.get(&id).expect("live flight");
+        match fl.last {
+            FlightOutcome::Ok => {
+                self.flights.remove(&id);
+                self.note_disk_ok(fl.io.disk);
+                self.metrics
+                    .record_retry_success(self.now.since(fl.first_issued));
+                self.handle(fl.done);
+            }
+            FlightOutcome::MediaError | FlightOutcome::Timeout => {
+                let disk = fl.io.disk;
+                let tripped = if fl.last == FlightOutcome::MediaError {
+                    self.metrics.record_media_error();
+                    self.health
+                        .as_mut()
+                        .is_some_and(|h| h.record_media_error(disk))
+                } else {
+                    self.metrics.record_timeout();
+                    self.health.as_mut().is_some_and(|h| h.record_timeout(disk))
+                };
+                let f = &self.cfg.faults;
+                let backoff = f.retry_backoff * (1u64 << (fl.attempts - 1).min(16));
+                let retry_at = self.now + backoff;
+                if fl.attempts <= f.max_retries
+                    && retry_at < fl.first_issued + f.request_deadline
+                    && !self.disks[disk as usize].is_failed()
+                {
+                    self.flights.get_mut(&id).expect("live flight").attempts += 1;
+                    self.metrics.record_retry();
+                    self.events.schedule(retry_at, Ev::IoRetry { flight: id });
+                } else {
+                    self.exhaust_flight(id);
+                }
+                if tripped {
+                    self.begin_eviction(disk);
+                }
+            }
+        }
+        self.try_finalize_eviction();
+    }
+
+    /// The backoff expired: resubmit the I/O and re-arm its report.
+    fn on_io_retry(&mut self, id: u64) {
+        let fl = *self.flights.get(&id).expect("live flight");
+        let disk = fl.io.disk as usize;
+        if self.disks[disk].is_failed() {
+            self.flights.remove(&id);
+            self.events.schedule(self.now + FAILED_IO_LATENCY, fl.done);
+            return;
+        }
+        let outcome = self.disks[disk].submit(
+            self.now,
+            &DiskRequest {
+                lba: fl.io.lba,
+                sectors: fl.io.sectors,
+                op: fl.io.op,
+            },
+        );
+        self.metrics.record_io(fl.io.cause);
+        let (last, report) = match outcome {
+            IoOutcome::Ok(done) => (FlightOutcome::Ok, done),
+            IoOutcome::MediaError(t) => (FlightOutcome::MediaError, t),
+            IoOutcome::Timeout(t) => (FlightOutcome::Timeout, t),
+            IoOutcome::Failed => unreachable!("retry raced a disk failure"),
+        };
+        self.flights.get_mut(&id).expect("live flight").last = last;
+        self.events.schedule(report, Ev::IoDone { flight: id });
+    }
+
+    /// An I/O ran out of retries. What happens next depends on what it
+    /// was for: client reads of redundant stripes fall back to
+    /// reconstruction, writes leave the stripe marked unredundant (a
+    /// degraded completion, never data loss), background I/Os defer
+    /// their extent to a later pass.
+    fn exhaust_flight(&mut self, id: u64) {
+        let fl = self.flights.remove(&id).expect("live flight");
+        self.metrics.record_io_exhausted();
+        let us = self.layout.unit_sectors();
+        match fl.io.cause {
+            IoCause::ClientRead => self.reconstruct_fallback(fl),
+            IoCause::ClientWrite | IoCause::ParityWrite | IoCause::RmwPreRead => {
+                // The data (or parity under update) cannot be trusted
+                // on disk: mark the stripe so the scrubber restores
+                // redundancy, and let the request complete degraded.
+                let stripe = fl.io.lba / us;
+                let lo = (fl.io.lba - self.layout.stripe_lba(stripe)) * 512;
+                self.mark_dirty(stripe, lo, lo + fl.io.sectors * 512);
+                if fl.io.cause == IoCause::ClientWrite {
+                    self.metrics.record_degraded_completion();
+                }
+                self.handle(fl.done);
+            }
+            IoCause::ScrubRead | IoCause::ScrubWrite => {
+                if let (Some(scrub), Ev::ScrubIo { batch }) = (&mut self.scrub, fl.done) {
+                    if scrub.batch_id == batch {
+                        let first = fl.io.lba / us;
+                        let last = (fl.io.lba + fl.io.sectors - 1) / us;
+                        for s in first..=last {
+                            if scrub.stripes.contains(&s) && !scrub.failed.contains(&s) {
+                                scrub.failed.push(s);
+                            }
+                        }
+                    }
+                }
+                self.handle(fl.done);
+            }
+            IoCause::RebuildRead | IoCause::RebuildWrite => {
+                if let Ev::RebuildIo { batch } = fl.done {
+                    if let Some(Degraded {
+                        rebuild: Some(rb), ..
+                    }) = &mut self.degraded
+                    {
+                        if rb.batch_id == batch {
+                            rb.failed = true;
+                        }
+                    }
+                }
+                self.handle(fl.done);
+            }
+            IoCause::ReconstructRead => {
+                // A survivor read failed past its budget: this read
+                // genuinely cannot be served.
+                self.metrics.record_failed_read();
+                self.handle(fl.done);
+            }
+            IoCause::TourRead | IoCause::LatentRepairWrite | IoCause::ReadRepairWrite => {
+                // Best-effort background work; the next tour or a
+                // client rewrite covers it.
+                self.handle(fl.done);
+            }
+        }
+    }
+
+    /// Unrecoverable read of a *redundant* stripe: serve it by
+    /// reconstruction from the survivors (the degraded-read plan), and
+    /// refresh the unreadable medium in place with a fire-and-forget
+    /// rewrite (read-error scrubbing).
+    fn reconstruct_fallback(&mut self, fl: Flight) {
+        let Ev::ClientIo { req } = fl.done else {
+            unreachable!("client reads complete client requests")
+        };
+        let stripe = fl.io.lba / self.layout.unit_sectors();
+        let redundant = !matches!(self.cfg.regions.mode_of(stripe), RegionMode::NeverProtect)
+            && !self.marks.is_marked(stripe)
+            && self.degraded_disk_for(stripe).is_none();
+        if !redundant {
+            // No parity to lean on: the read fails for real.
+            self.metrics.record_failed_read();
+            self.handle(fl.done);
+            return;
+        }
+        if let Some(shadow) = &self.shadow {
+            // Byte-check: the stripe must actually be reconstructable
+            // from the survivors' XOR.
+            shadow.check_scrub_repair(stripe, fl.io.disk);
+        }
+        self.metrics.record_reconstruct_fallback();
+        // The one failed read becomes `disks - 1` survivor reads, all
+        // completing into the same request slot.
+        self.req_mut(req).pending += self.cfg.disks - 2;
+        for disk in 0..self.cfg.disks {
+            if disk == fl.io.disk {
+                continue;
+            }
+            self.submit(
+                PlannedIo {
+                    disk,
+                    lba: fl.io.lba,
+                    sectors: fl.io.sectors,
+                    op: OpKind::Read,
+                    cause: IoCause::ReconstructRead,
+                },
+                Ev::ClientIo { req },
+            );
+        }
+        self.submit(
+            PlannedIo {
+                disk: fl.io.disk,
+                lba: fl.io.lba,
+                sectors: fl.io.sectors,
+                op: OpKind::Write,
+                cause: IoCause::ReadRepairWrite,
+            },
+            Ev::RepairIo,
+        );
+    }
+
+    /// The scoreboard condemned a disk: put it in patient mode (no
+    /// further stochastic faults, so the drain terminates) and settle
+    /// all dirty parity before the eviction makes the array degraded —
+    /// an *orderly* retirement loses nothing, unlike a crash.
+    fn begin_eviction(&mut self, disk: u32) {
+        if self.evicting.is_some()
+            || self.degraded.is_some()
+            || self.disks[disk as usize].is_failed()
+        {
+            return;
+        }
+        self.evicting = Some(disk);
+        self.disks[disk as usize].set_patient(true);
+        if self.marks.marked_count() > 0 {
+            self.start_scrub(true);
+        }
+    }
+
+    /// Once every mark is settled and no write or faulted I/O is in
+    /// flight, hand the condemned disk to the driver as an `Evict`
+    /// event (processed like an injected failure, minus the loss).
+    fn try_finalize_eviction(&mut self) {
+        let Some(disk) = self.evicting else { return };
+        if self.scrub.is_some()
+            || self.marks.marked_count() > 0
+            || !self.writing.is_empty()
+            || !self.flights.is_empty()
+        {
+            return;
+        }
+        self.evicting = None;
+        self.events.schedule(self.now, Ev::Evict { disk });
+    }
+
+    /// Driver-side half of the eviction. Returns false if a
+    /// same-instant write dirtied the array between the settle check
+    /// and this event — the settle is re-armed and the driver carries
+    /// on.
+    pub(crate) fn finalize_eviction(&mut self, disk: u32) -> bool {
+        if self.scrub.is_some()
+            || self.marks.marked_count() > 0
+            || !self.writing.is_empty()
+            || !self.flights.is_empty()
+        {
+            self.evicting = Some(disk);
+            if self.marks.marked_count() > 0 {
+                self.start_scrub(true);
+            }
+            return false;
+        }
+        self.disks[disk as usize].fail();
+        self.failed_disk = Some(disk);
+        self.evicted_at = Some(self.now);
+        self.metrics.record_eviction(self.now);
+        if let Some(h) = &mut self.health {
+            h.reset(disk);
+        }
+        true
     }
 
     // ------------------------------------------------------------------
@@ -1355,6 +1755,7 @@ impl Controller {
             stripes: batch,
             pending,
             phase: ScrubPhase::Read,
+            failed: Vec::new(),
         });
     }
 
@@ -1403,13 +1804,21 @@ impl Controller {
 
     fn finish_scrub_batch(&mut self) {
         let scrub = self.scrub.take().expect("scrub in flight");
+        let mut settled = 0u64;
         for &s in &scrub.stripes {
+            if scrub.failed.contains(&s) {
+                // A scrub I/O of this stripe exhausted its retries:
+                // the mark stays set and a later pass (with fresh
+                // fault draws) retries it.
+                continue;
+            }
             if let Some(shadow) = &mut self.shadow {
                 shadow.rebuild_parity(s);
             }
             self.clear_mark(s);
+            settled += 1;
         }
-        self.metrics.record_scrub_batch(scrub.stripes.len() as u64);
+        self.metrics.record_scrub_batch(settled);
 
         if self.nvram_recovery && self.marks.marked_count() == 0 {
             self.nvram_recovery = false;
@@ -1427,14 +1836,18 @@ impl Controller {
         // keep going under load; idle scrubs are preempted between
         // batches as soon as client work appears.
         if self.marks.marked_count() == 0 {
-            // Parity fully settled: the rest of the idle period belongs
-            // to the latent-error tour (no-op unless enabled and idle).
+            // Parity fully settled: an eviction settle can now
+            // conclude; the rest of the idle period belongs to the
+            // latent-error tour (no-op unless enabled and idle).
+            self.try_finalize_eviction();
             self.maybe_start_tour();
             return;
         }
         let d = self.evaluate_policy();
-        let keep_going =
-            d.scrub_now || self.nvram_recovery || (d.scrub_on_idle && self.idle.is_idle(self.now));
+        let keep_going = d.scrub_now
+            || self.nvram_recovery
+            || self.evicting.is_some()
+            || (d.scrub_on_idle && self.idle.is_idle(self.now));
         if keep_going {
             self.scrub_next_batch();
         } else {
@@ -1646,6 +2059,11 @@ impl Controller {
         // ignored via the batch-id check, and no new scrubs start
         // while degraded.
         self.scrub = None;
+        // A pending eviction settle is overtaken by this failure: with
+        // a disk already lost there is no slack to retire another.
+        if let Some(e) = self.evicting.take() {
+            self.disks[e as usize].set_patient(false);
+        }
         // The latent-error tour is abandoned too: with a dead disk
         // there is no redundancy left to repair from.
         self.tour_batch = None;
@@ -1719,6 +2137,7 @@ impl Controller {
             pending: 0,
             phase: ScrubPhase::Read,
             stalled: false,
+            failed: false,
         });
         self.rebuild_next_batch();
     }
@@ -1785,6 +2204,7 @@ impl Controller {
             rb.pending = pending;
             rb.phase = ScrubPhase::Read;
             rb.stalled = false;
+            rb.failed = false;
         }
     }
 
@@ -1842,7 +2262,7 @@ impl Controller {
     }
 
     fn finish_rebuild_batch(&mut self, failed: u32) {
-        let batch = {
+        let (batch, redo) = {
             let Some(Degraded {
                 rebuild: Some(rb), ..
             }) = &mut self.degraded
@@ -1850,9 +2270,24 @@ impl Controller {
                 unreachable!("rebuild in flight")
             };
             let batch = std::mem::take(&mut rb.batch);
-            rb.cursor_done = batch.last().expect("non-empty batch") + 1;
-            batch
+            let redo = rb.failed;
+            rb.failed = false;
+            if !redo {
+                rb.cursor_done = batch.last().expect("non-empty batch") + 1;
+            }
+            (batch, redo)
         };
+        if redo {
+            // A rebuild I/O exhausted its retries: the spare's copy of
+            // this extent cannot be trusted, so redo the batch (the
+            // cursor did not advance) with fresh fault draws.
+            let blocked = std::mem::take(&mut self.blocked);
+            for slot in blocked {
+                self.restart_blocked(slot);
+            }
+            self.rebuild_next_batch();
+            return;
+        }
         for &s in &batch {
             if self.layout.parity_disk(s) == failed {
                 if let Some(shadow) = &mut self.shadow {
@@ -1871,6 +2306,9 @@ impl Controller {
     fn finish_rebuild(&mut self) {
         self.degraded = None;
         self.rebuilt_at = Some(self.now);
+        // If a proactive eviction opened this exposure window, it
+        // closes now: the spare holds a full copy again.
+        self.metrics.close_eviction(self.now);
         // Normal operation resumes; let the policy pick up any
         // remaining background work.
         let d = self.evaluate_policy();

@@ -52,6 +52,9 @@ pub struct RunResult {
     pub reprotected_at: Option<SimTime>,
     /// When the rebuild sweep restored the spare, if one ran.
     pub rebuilt_at: Option<SimTime>,
+    /// When the health scoreboard proactively evicted a disk, if it
+    /// did.
+    pub evicted_at: Option<SimTime>,
     /// Simulated end of the run.
     pub end: SimTime,
 }
@@ -129,6 +132,30 @@ pub fn run_trace(cfg: &ArrayConfig, trace: &Trace, opts: &RunOptions) -> RunResu
                     c.events.schedule(c.now + delay, Ev::SpareInstalled);
                 }
             }
+            Ev::Evict { disk } => {
+                // Proactive eviction from the health scoreboard: the
+                // condemned disk was drained to full redundancy first,
+                // so the assessment should find nothing lost. Unlike a
+                // crash, the run always continues: the array goes
+                // degraded, a spare arrives after the configured
+                // delay, and the rebuild restores it.
+                if !c.finalize_eviction(disk) {
+                    continue; // a same-instant write re-armed the settle
+                }
+                c.sync_latent();
+                loss = Some(assess_loss(
+                    c.layout(),
+                    c.marks(),
+                    c.shadow(),
+                    &cfg.regions,
+                    c.latent_errors(),
+                    disk,
+                    c.now,
+                ));
+                c.enter_degraded(disk);
+                let delay = opts.spare_delay.unwrap_or(cfg.faults.evict_spare_delay);
+                c.events.schedule(c.now + delay, Ev::SpareInstalled);
+            }
             other => c.handle(other),
         }
     }
@@ -139,6 +166,7 @@ pub fn run_trace(cfg: &ArrayConfig, trace: &Trace, opts: &RunOptions) -> RunResu
         loss,
         reprotected_at: c.reprotected_at,
         rebuilt_at: c.rebuilt_at,
+        evicted_at: c.evicted_at,
         end,
     }
 }

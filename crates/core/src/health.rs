@@ -1,0 +1,139 @@
+//! Per-disk health scoreboard.
+//!
+//! The controller keeps an exponentially weighted moving average of
+//! each disk's fault indicator: 1 for a media error or command
+//! timeout, 0 for a success. Healthy disks hover near 0; a disk
+//! failing most of its commands — the fail-slow signature is a run of
+//! timeouts — climbs toward 1 within a handful of I/Os. Crossing the
+//! configured threshold condemns the disk for proactive eviction into
+//! the spare/rebuild pipeline, trading a bounded exposure window for
+//! not limping along on a dying drive.
+
+/// One disk's health state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiskHealth {
+    /// EWMA of the fault indicator (0 = healthy, toward 1 = failing).
+    pub score: f64,
+    /// Media errors observed.
+    pub media_errors: u64,
+    /// Command timeouts observed.
+    pub timeouts: u64,
+}
+
+/// EWMA fault scores for every disk in the array.
+#[derive(Clone, Debug)]
+pub struct Scoreboard {
+    alpha: f64,
+    threshold: f64,
+    disks: Vec<DiskHealth>,
+}
+
+impl Scoreboard {
+    /// Creates a scoreboard for `disks` drives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]` or `threshold` outside
+    /// `(0, 1]`.
+    pub fn new(disks: u32, alpha: f64, threshold: f64) -> Scoreboard {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range: {alpha}");
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "threshold out of range: {threshold}"
+        );
+        Scoreboard {
+            alpha,
+            threshold,
+            disks: vec![DiskHealth::default(); disks as usize],
+        }
+    }
+
+    fn bump(&mut self, disk: u32, x: f64) -> f64 {
+        let d = &mut self.disks[disk as usize];
+        d.score += self.alpha * (x - d.score);
+        d.score
+    }
+
+    /// Folds in a successful command.
+    pub fn record_ok(&mut self, disk: u32) {
+        self.bump(disk, 0.0);
+    }
+
+    /// Folds in a media error; true if the disk crossed the threshold.
+    pub fn record_media_error(&mut self, disk: u32) -> bool {
+        self.disks[disk as usize].media_errors += 1;
+        self.bump(disk, 1.0) >= self.threshold
+    }
+
+    /// Folds in a command timeout; true if the disk crossed the
+    /// threshold.
+    pub fn record_timeout(&mut self, disk: u32) -> bool {
+        self.disks[disk as usize].timeouts += 1;
+        self.bump(disk, 1.0) >= self.threshold
+    }
+
+    /// The disk's current score.
+    pub fn score(&self, disk: u32) -> f64 {
+        self.disks[disk as usize].score
+    }
+
+    /// Forgets a disk's history (a spare took its slot).
+    pub fn reset(&mut self, disk: u32) {
+        self.disks[disk as usize] = DiskHealth::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_disks_stay_below_threshold() {
+        let mut sb = Scoreboard::new(3, 0.3, 0.5);
+        for _ in 0..1000 {
+            sb.record_ok(1);
+        }
+        assert_eq!(sb.score(1), 0.0);
+    }
+
+    #[test]
+    fn consecutive_faults_trip_the_threshold() {
+        // alpha 0.3: scores 0.3, 0.51 — the second consecutive fault
+        // crosses a 0.5 threshold.
+        let mut sb = Scoreboard::new(3, 0.3, 0.5);
+        assert!(!sb.record_timeout(0));
+        assert!(sb.record_timeout(0));
+    }
+
+    #[test]
+    fn successes_pull_the_score_back_down() {
+        let mut sb = Scoreboard::new(3, 0.3, 0.5);
+        sb.record_media_error(2);
+        let high = sb.score(2);
+        sb.record_ok(2);
+        assert!(sb.score(2) < high);
+    }
+
+    #[test]
+    fn sparse_faults_do_not_trip() {
+        // One fault per 20 commands keeps the EWMA far below 0.5.
+        let mut sb = Scoreboard::new(3, 0.3, 0.5);
+        for _ in 0..50 {
+            assert!(!sb.record_media_error(0));
+            for _ in 0..19 {
+                sb.record_ok(0);
+            }
+        }
+        assert!(sb.score(0) < 0.4, "score {}", sb.score(0));
+    }
+
+    #[test]
+    fn scores_are_per_disk_and_resettable() {
+        let mut sb = Scoreboard::new(3, 0.4, 0.5);
+        sb.record_timeout(1);
+        assert_eq!(sb.score(0), 0.0);
+        assert!(sb.score(1) > 0.0);
+        sb.reset(1);
+        assert_eq!(sb.score(1), 0.0);
+    }
+}

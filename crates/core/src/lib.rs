@@ -40,6 +40,7 @@
 //! | [`driver`] | trace-driven runs |
 //! | [`metrics`] | per-run measurements |
 //! | [`faults`] | disk/NVRAM failure injection, latent sector errors, loss assessment |
+//! | [`health`] | per-disk EWMA fault scoreboard driving proactive eviction |
 //! | [`shadow`] | XOR content model that *verifies* redundancy claims |
 //! | [`idle`] | idle detection |
 //! | [`scrub`] | latent-error tour scrubber (idle-driven, IOPS-budgeted) |
@@ -55,6 +56,7 @@ pub mod config;
 pub mod controller;
 pub mod driver;
 pub mod faults;
+pub mod health;
 pub mod idle;
 pub mod layout;
 pub mod metrics;
@@ -68,9 +70,10 @@ pub mod report;
 pub mod scrub;
 pub mod shadow;
 
-pub use config::{ArrayConfig, ScrubConfig};
+pub use config::{ArrayConfig, FailSlowConfig, FaultConfig, ScrubConfig};
 pub use driver::{run_trace, RunOptions, RunResult};
 pub use faults::{DataLossReport, LatentErrors};
+pub use health::Scoreboard;
 pub use layout::Layout;
 pub use metrics::RunMetrics;
 pub use nvram::{MarkGranularity, MarkingMemory};

@@ -35,6 +35,9 @@ pub enum IoCause {
     TourRead,
     /// Repair write for a latent sector error found by a tour.
     LatentRepairWrite,
+    /// Rewrite of a unit whose read exhausted its retries, with data
+    /// reconstructed from the survivors (read-error scrubbing).
+    ReadRepairWrite,
 }
 
 /// Count of disk I/Os by cause.
@@ -62,6 +65,8 @@ pub struct IoBreakdown {
     pub tour_read: u64,
     /// Latent-error repair writes.
     pub latent_repair_write: u64,
+    /// Read-error-scrubbing rewrites after reconstruct fallbacks.
+    pub read_repair_write: u64,
 }
 
 impl IoBreakdown {
@@ -79,6 +84,7 @@ impl IoBreakdown {
             IoCause::RebuildWrite => self.rebuild_write += 1,
             IoCause::TourRead => self.tour_read += 1,
             IoCause::LatentRepairWrite => self.latent_repair_write += 1,
+            IoCause::ReadRepairWrite => self.read_repair_write += 1,
         }
     }
 
@@ -100,6 +106,7 @@ impl IoBreakdown {
             + self.rebuild_write
             + self.tour_read
             + self.latent_repair_write
+            + self.read_repair_write
     }
 }
 
@@ -111,6 +118,10 @@ pub struct MetricsBuilder {
     response_read: OnlineStats,
     response_write: OnlineStats,
     histogram_ms: Histogram,
+    histogram_read_ms: Histogram,
+    histogram_write_ms: Histogram,
+    /// First-attempt-to-success latency of retried disk I/Os.
+    retry_histogram_ms: Histogram,
     /// Parity lag in bytes, as a step function of time.
     lag: TimeWeighted,
     /// Dirty-stripe count, as a step function of time.
@@ -129,6 +140,16 @@ pub struct MetricsBuilder {
     scrub_tours: u64,
     tour_sectors_read: u64,
     tour_secs_sum: f64,
+    media_errors: u64,
+    timeouts: u64,
+    retries: u64,
+    io_exhausted: u64,
+    reconstruct_fallbacks: u64,
+    degraded_completions: u64,
+    evictions: u64,
+    /// When the open eviction exposure window started, if one is open.
+    evict_open: Option<SimTime>,
+    evict_exposure_secs: f64,
 }
 
 impl MetricsBuilder {
@@ -140,6 +161,9 @@ impl MetricsBuilder {
             response_read: OnlineStats::new(),
             response_write: OnlineStats::new(),
             histogram_ms: Histogram::for_latency_ms(),
+            histogram_read_ms: Histogram::for_latency_ms(),
+            histogram_write_ms: Histogram::for_latency_ms(),
+            retry_histogram_ms: Histogram::for_latency_ms(),
             lag: TimeWeighted::new(start, 0.0),
             dirty: TimeWeighted::new(start, 0.0),
             write_busy: TimeWeighted::new(start, 0.0),
@@ -155,6 +179,15 @@ impl MetricsBuilder {
             scrub_tours: 0,
             tour_sectors_read: 0,
             tour_secs_sum: 0.0,
+            media_errors: 0,
+            timeouts: 0,
+            retries: 0,
+            io_exhausted: 0,
+            reconstruct_fallbacks: 0,
+            degraded_completions: 0,
+            evictions: 0,
+            evict_open: None,
+            evict_exposure_secs: 0.0,
         }
     }
 
@@ -164,8 +197,10 @@ impl MetricsBuilder {
         self.response_all.record(ms);
         if is_write {
             self.response_write.record(ms);
+            self.histogram_write_ms.record(ms);
         } else {
             self.response_read.record(ms);
+            self.histogram_read_ms.record(ms);
         }
         self.histogram_ms.record(ms);
     }
@@ -234,6 +269,57 @@ impl MetricsBuilder {
         self.tour_secs_sum += duration.as_secs_f64();
     }
 
+    /// Records a transient media error reported by a disk.
+    pub fn record_media_error(&mut self) {
+        self.media_errors += 1;
+    }
+
+    /// Records a disk command timeout.
+    pub fn record_timeout(&mut self) {
+        self.timeouts += 1;
+    }
+
+    /// Records one retry attempt being issued.
+    pub fn record_retry(&mut self) {
+        self.retries += 1;
+    }
+
+    /// Records a retried I/O finally succeeding, `latency` after its
+    /// first attempt was issued.
+    pub fn record_retry_success(&mut self, latency: SimDuration) {
+        self.retry_histogram_ms.record(latency.as_millis_f64());
+    }
+
+    /// Records an I/O giving up: retries exhausted or deadline passed.
+    pub fn record_io_exhausted(&mut self) {
+        self.io_exhausted += 1;
+    }
+
+    /// Records an exhausted client read served by reconstructing from
+    /// the survivors.
+    pub fn record_reconstruct_fallback(&mut self) {
+        self.reconstruct_fallbacks += 1;
+    }
+
+    /// Records a client write completed degraded: the data landed but
+    /// redundancy was deferred to the scrubber via an NVRAM mark.
+    pub fn record_degraded_completion(&mut self) {
+        self.degraded_completions += 1;
+    }
+
+    /// Records a proactive health eviction, opening an exposure window.
+    pub fn record_eviction(&mut self, at: SimTime) {
+        self.evictions += 1;
+        self.evict_open = Some(at);
+    }
+
+    /// Closes the open eviction exposure window (rebuild finished).
+    pub fn close_eviction(&mut self, at: SimTime) {
+        if let Some(open) = self.evict_open.take() {
+            self.evict_exposure_secs += at.since(open).as_secs_f64();
+        }
+    }
+
     /// Current parity lag (bytes).
     pub fn current_lag(&self) -> f64 {
         self.lag.current()
@@ -246,6 +332,10 @@ impl MetricsBuilder {
 
     /// Finalises at `end`.
     pub fn finish(self, end: SimTime) -> RunMetrics {
+        let evict_exposure_secs = self.evict_exposure_secs
+            + self
+                .evict_open
+                .map_or(0.0, |open| end.saturating_since(open).as_secs_f64());
         RunMetrics {
             span: end.since(self.start),
             requests: self.response_all.count(),
@@ -277,6 +367,24 @@ impl MetricsBuilder {
             } else {
                 self.tour_secs_sum / self.scrub_tours as f64
             },
+            p50_io_ms: self.histogram_ms.quantile(0.50),
+            p50_read_ms: self.histogram_read_ms.quantile(0.50),
+            p95_read_ms: self.histogram_read_ms.quantile(0.95),
+            p99_read_ms: self.histogram_read_ms.quantile(0.99),
+            p50_write_ms: self.histogram_write_ms.quantile(0.50),
+            p95_write_ms: self.histogram_write_ms.quantile(0.95),
+            p99_write_ms: self.histogram_write_ms.quantile(0.99),
+            media_errors: self.media_errors,
+            timeouts: self.timeouts,
+            retries: self.retries,
+            io_exhausted: self.io_exhausted,
+            reconstruct_fallbacks: self.reconstruct_fallbacks,
+            degraded_completions: self.degraded_completions,
+            retry_p50_ms: self.retry_histogram_ms.quantile(0.50),
+            retry_p95_ms: self.retry_histogram_ms.quantile(0.95),
+            retry_p99_ms: self.retry_histogram_ms.quantile(0.99),
+            evictions: self.evictions,
+            evict_exposure_secs,
         }
     }
 }
@@ -338,6 +446,44 @@ pub struct RunMetrics {
     pub tour_sectors_read: u64,
     /// Mean duration of a completed tour, seconds (0 if none).
     pub mean_tour_secs: f64,
+    /// Median response, ms.
+    pub p50_io_ms: f64,
+    /// Median read response, ms.
+    pub p50_read_ms: f64,
+    /// 95th percentile read response, ms.
+    pub p95_read_ms: f64,
+    /// 99th percentile read response, ms.
+    pub p99_read_ms: f64,
+    /// Median write response, ms.
+    pub p50_write_ms: f64,
+    /// 95th percentile write response, ms.
+    pub p95_write_ms: f64,
+    /// 99th percentile write response, ms.
+    pub p99_write_ms: f64,
+    /// Transient media errors reported by disks.
+    pub media_errors: u64,
+    /// Disk command timeouts (drawn hangs and fail-slow overruns).
+    pub timeouts: u64,
+    /// Retry attempts issued by the controller.
+    pub retries: u64,
+    /// Disk I/Os that exhausted their retry budget or deadline.
+    pub io_exhausted: u64,
+    /// Exhausted client reads served by reconstruct-read fallback.
+    pub reconstruct_fallbacks: u64,
+    /// Client writes completed degraded (redundancy deferred via an
+    /// NVRAM mark after an exhausted write I/O).
+    pub degraded_completions: u64,
+    /// Median first-attempt-to-success latency of retried I/Os, ms.
+    pub retry_p50_ms: f64,
+    /// 95th percentile retried-I/O latency, ms.
+    pub retry_p95_ms: f64,
+    /// 99th percentile retried-I/O latency, ms.
+    pub retry_p99_ms: f64,
+    /// Proactive health-scoreboard evictions.
+    pub evictions: u64,
+    /// Total time inside eviction exposure windows (evicted until the
+    /// spare rebuild completed, or the run ended), seconds.
+    pub evict_exposure_secs: f64,
 }
 
 impl RunMetrics {
@@ -429,8 +575,60 @@ mod tests {
             b.record_response(false, SimDuration::from_micros(i * 100));
         }
         let m = b.finish(SimTime::from_secs(1));
+        assert!(m.p50_io_ms <= m.p95_io_ms);
         assert!(m.p95_io_ms <= m.p99_io_ms);
         assert!(m.p99_io_ms <= m.max_io_ms * 1.05);
         assert!(m.mean_io_ms < m.p95_io_ms);
+    }
+
+    #[test]
+    fn per_op_percentiles_split_reads_and_writes() {
+        let mut b = MetricsBuilder::new(SimTime::ZERO);
+        for i in 1..=100u64 {
+            b.record_response(false, SimDuration::from_millis(i));
+            b.record_response(true, SimDuration::from_millis(i * 10));
+        }
+        let m = b.finish(SimTime::from_secs(1));
+        assert!(m.p50_read_ms <= m.p95_read_ms && m.p95_read_ms <= m.p99_read_ms);
+        assert!(m.p50_write_ms <= m.p95_write_ms && m.p95_write_ms <= m.p99_write_ms);
+        assert!(m.p50_write_ms > m.p99_read_ms);
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let mut b = MetricsBuilder::new(SimTime::ZERO);
+        b.record_media_error();
+        b.record_timeout();
+        b.record_timeout();
+        b.record_retry();
+        b.record_retry_success(SimDuration::from_millis(12));
+        b.record_io_exhausted();
+        b.record_reconstruct_fallback();
+        b.record_degraded_completion();
+        let m = b.finish(SimTime::from_secs(1));
+        assert_eq!(m.media_errors, 1);
+        assert_eq!(m.timeouts, 2);
+        assert_eq!(m.retries, 1);
+        assert_eq!(m.io_exhausted, 1);
+        assert_eq!(m.reconstruct_fallbacks, 1);
+        assert_eq!(m.degraded_completions, 1);
+        assert!(m.retry_p50_ms > 0.0);
+    }
+
+    #[test]
+    fn eviction_window_accounting() {
+        // A closed window charges evicted -> rebuilt; an open one is
+        // closed at the end of the run.
+        let mut b = MetricsBuilder::new(SimTime::ZERO);
+        b.record_eviction(SimTime::from_secs(10));
+        b.close_eviction(SimTime::from_secs(25));
+        let m = b.clone().finish(SimTime::from_secs(100));
+        assert_eq!(m.evictions, 1);
+        assert!((m.evict_exposure_secs - 15.0).abs() < 1e-9);
+
+        b.record_eviction(SimTime::from_secs(90));
+        let m = b.finish(SimTime::from_secs(100));
+        assert_eq!(m.evictions, 2);
+        assert!((m.evict_exposure_secs - 25.0).abs() < 1e-9);
     }
 }

@@ -122,14 +122,17 @@ pub fn run_parity_logging(
                 let mut t = start;
                 for s in layout.map_range(rec.offset, rec.bytes) {
                     let d = &mut disks[s.disk as usize];
-                    t = t.max(d.submit(
-                        start,
-                        &DiskRequest {
-                            lba: s.disk_lba,
-                            sectors: s.sectors,
-                            op: OpKind::Read,
-                        },
-                    ));
+                    t = t.max(
+                        d.submit(
+                            start,
+                            &DiskRequest {
+                                lba: s.disk_lba,
+                                sectors: s.sectors,
+                                op: OpKind::Read,
+                            },
+                        )
+                        .expect_ok(),
+                    );
                 }
                 t
             }
@@ -139,27 +142,33 @@ pub fn run_parity_logging(
                 let mut t1 = start;
                 for s in &slices {
                     let d = &mut disks[s.disk as usize];
-                    t1 = t1.max(d.submit(
-                        start,
-                        &DiskRequest {
-                            lba: s.disk_lba,
-                            sectors: s.sectors,
-                            op: OpKind::Read,
-                        },
-                    ));
+                    t1 = t1.max(
+                        d.submit(
+                            start,
+                            &DiskRequest {
+                                lba: s.disk_lba,
+                                sectors: s.sectors,
+                                op: OpKind::Read,
+                            },
+                        )
+                        .expect_ok(),
+                    );
                 }
                 // Phase 2: write new data.
                 let mut t2 = t1;
                 for s in &slices {
                     let d = &mut disks[s.disk as usize];
-                    t2 = t2.max(d.submit(
-                        t1,
-                        &DiskRequest {
-                            lba: s.disk_lba,
-                            sectors: s.sectors,
-                            op: OpKind::Write,
-                        },
-                    ));
+                    t2 = t2.max(
+                        d.submit(
+                            t1,
+                            &DiskRequest {
+                                lba: s.disk_lba,
+                                sectors: s.sectors,
+                                op: OpKind::Write,
+                            },
+                        )
+                        .expect_ok(),
+                    );
                 }
                 // The XOR record lands in the NVRAM buffer at no disk
                 // cost; flushes and replays happen below.
@@ -176,14 +185,16 @@ pub fn run_parity_logging(
             let sectors = (buffered / 512).max(1);
             let lba = log_base + (log_cursor % (plcfg.log_region_bytes / 512 / 2));
             let d = &mut disks[(log_flushes % u64::from(cfg.disks)) as usize];
-            let _ = d.submit(
-                done,
-                &DiskRequest {
-                    lba,
-                    sectors,
-                    op: OpKind::Write,
-                },
-            );
+            let _ = d
+                .submit(
+                    done,
+                    &DiskRequest {
+                        lba,
+                        sectors,
+                        op: OpKind::Write,
+                    },
+                )
+                .expect_ok();
             log_cursor += sectors;
             logged += buffered;
             buffered = 0;

@@ -1,6 +1,6 @@
 //! Glue from simulation measurements to availability numbers.
 
-use afraid_avail::report::{AvailabilityReport, DesignKind, LatentExposure};
+use afraid_avail::report::{AvailabilityReport, DesignKind, EvictionExposure, LatentExposure};
 
 use crate::config::ArrayConfig;
 use crate::metrics::RunMetrics;
@@ -49,6 +49,25 @@ pub fn latent_exposure(cfg: &ArrayConfig, metrics: &RunMetrics) -> Option<Latent
     })
 }
 
+/// Proactive-eviction exposure for a finished run, or `None` when the
+/// health scoreboard never evicted a disk (or the design has no
+/// spare/rebuild pipeline). The rate extrapolates the run's eviction
+/// count over its span; the window is the mean measured time from an
+/// eviction to its rebuild completing.
+pub fn eviction_exposure(cfg: &ArrayConfig, metrics: &RunMetrics) -> Option<EvictionExposure> {
+    if metrics.evictions == 0 || design_kind(cfg.policy) == DesignKind::Raid0 {
+        return None;
+    }
+    let span_hours = metrics.span.as_secs_f64() / 3600.0;
+    if span_hours <= 0.0 {
+        return None;
+    }
+    Some(EvictionExposure {
+        rate_per_hour: metrics.evictions as f64 / span_hours,
+        window_hours: metrics.evict_exposure_secs / 3600.0 / metrics.evictions as f64,
+    })
+}
+
 /// Builds the availability report for a finished run.
 pub fn availability(cfg: &ArrayConfig, metrics: &RunMetrics) -> AvailabilityReport {
     let kind = design_kind(cfg.policy);
@@ -56,13 +75,14 @@ pub fn availability(cfg: &ArrayConfig, metrics: &RunMetrics) -> AvailabilityRepo
         DesignKind::Afraid => (metrics.frac_unprotected, metrics.mean_parity_lag_bytes),
         _ => (0.0, 0.0),
     };
-    AvailabilityReport::build_with_latent(
+    AvailabilityReport::build_with_exposures(
         kind,
         &cfg.params,
         cfg.n_data(),
         frac,
         lag,
         latent_exposure(cfg, metrics),
+        eviction_exposure(cfg, metrics),
     )
 }
 
@@ -146,6 +166,42 @@ mod tests {
             "dwell {}",
             e.dwell_hours
         );
+    }
+
+    #[test]
+    fn no_evictions_means_no_exposure() {
+        let cfg = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        assert!(eviction_exposure(&cfg, &metrics_with(0, 0.0)).is_none());
+    }
+
+    fn metrics_with_eviction() -> RunMetrics {
+        use crate::metrics::MetricsBuilder;
+        use afraid_sim::time::SimTime;
+        let mut b = MetricsBuilder::new(SimTime::ZERO);
+        b.record_eviction(SimTime::from_secs(100));
+        b.close_eviction(SimTime::from_secs(460));
+        b.finish(SimTime::from_secs(3600))
+    }
+
+    #[test]
+    fn eviction_exposure_uses_measured_rate_and_window() {
+        let cfg = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        let e = eviction_exposure(&cfg, &metrics_with_eviction()).unwrap();
+        assert!((e.rate_per_hour - 1.0).abs() < 1e-12, "{}", e.rate_per_hour);
+        assert!(
+            (e.window_hours - 0.1).abs() < 1e-12,
+            "window {}",
+            e.window_hours
+        );
+        let r = availability(&cfg, &metrics_with_eviction());
+        assert!(r.mttdl_evict.is_finite());
+        assert!(r.mdlr_evict > 0.0);
+    }
+
+    #[test]
+    fn raid0_never_reports_eviction_exposure() {
+        let cfg = ArrayConfig::small_test(ParityPolicy::NeverRebuild);
+        assert!(eviction_exposure(&cfg, &metrics_with_eviction()).is_none());
     }
 
     #[test]

@@ -21,6 +21,7 @@ use afraid_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::SegmentedCache;
+use crate::fault::{Fault, FaultInjector, IoOutcome};
 use crate::geometry::Chs;
 use crate::model::DiskModel;
 use crate::SECTOR_BYTES;
@@ -64,6 +65,10 @@ pub struct DiskStats {
     pub busy_time: SimDuration,
     /// Reads served from the on-drive cache.
     pub cache_hits: u64,
+    /// Commands that reported a transient media error.
+    pub media_errors: u64,
+    /// Commands that exceeded the command timeout.
+    pub timeouts: u64,
 }
 
 /// One disk drive.
@@ -78,6 +83,8 @@ pub struct Disk {
     free_at: SimTime,
     failed: bool,
     stats: DiskStats,
+    /// Transient-fault process, if fault injection is configured.
+    faults: Option<FaultInjector>,
 }
 
 impl Disk {
@@ -92,6 +99,7 @@ impl Disk {
             free_at: SimTime::ZERO,
             failed: false,
             stats: DiskStats::default(),
+            faults: None,
         }
     }
 
@@ -99,6 +107,24 @@ impl Disk {
     pub fn with_cache(mut self, cache: SegmentedCache) -> Self {
         self.cache = cache;
         self
+    }
+
+    /// Installs a transient-fault process. Without one the disk never
+    /// faults and [`Disk::submit`] always returns [`IoOutcome::Ok`]
+    /// (or [`IoOutcome::Failed`] once [`Disk::fail`] is called).
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// Switches patient mode: the fault process stops drawing faults
+    /// and timeouts are not enforced, so commands always succeed —
+    /// merely slowly, if a fail-slow window is active. Used while a
+    /// condemned disk's stripes are drained before eviction. No-op
+    /// without an injector.
+    pub fn set_patient(&mut self, patient: bool) {
+        if let Some(inj) = &mut self.faults {
+            inj.set_patient(patient);
+        }
     }
 
     /// The disk's parameter set.
@@ -126,18 +152,24 @@ impl Disk {
         self.free_at > now
     }
 
-    /// Marks the disk failed; subsequent submissions panic, so callers
-    /// must check [`Disk::is_failed`] first (the array controller stops
-    /// routing I/O to failed disks).
+    /// Marks the disk failed; subsequent submissions return
+    /// [`IoOutcome::Failed`] without any physical I/O.
     pub fn fail(&mut self) {
         self.failed = true;
     }
 
-    /// Restores a replaced disk to service (used by rebuild tests).
+    /// Swaps in a spare: the fresh drive starts idle at cylinder 0
+    /// with no history — statistics, the busy horizon, the cache and
+    /// any fail-slow limp all belong to the unit that was pulled.
     pub fn replace(&mut self) {
         self.failed = false;
         self.cur_cyl = 0;
         self.cache.clear();
+        self.free_at = SimTime::ZERO;
+        self.stats = DiskStats::default();
+        if let Some(inj) = &mut self.faults {
+            inj.on_replace();
+        }
     }
 
     /// True once [`Disk::fail`] has been called.
@@ -146,14 +178,24 @@ impl Disk {
     }
 
     /// Submits a request at `now`. The disk starts it when it becomes
-    /// free and returns the absolute completion time.
+    /// free; the returned [`IoOutcome`] carries the instant the result
+    /// is reported to the controller.
+    ///
+    /// A failed disk returns [`IoOutcome::Failed`] with no physical
+    /// I/O. A media error consumes the full service time before it is
+    /// reported. A timed-out command occupies the drive until the
+    /// command timeout (a hang ends with the drive's internal reset),
+    /// or — for a fail-slow overrun — until its inflated service
+    /// completes, while the controller hears the timeout at the
+    /// deadline.
     ///
     /// # Panics
     ///
-    /// Panics if the disk has failed, the request is empty, or it runs
-    /// past the end of the disk.
-    pub fn submit(&mut self, now: SimTime, req: &DiskRequest) -> SimTime {
-        assert!(!self.failed, "I/O submitted to failed disk");
+    /// Panics if the request is empty or runs past the end of the disk.
+    pub fn submit(&mut self, now: SimTime, req: &DiskRequest) -> IoOutcome {
+        if self.failed {
+            return IoOutcome::Failed;
+        }
         assert!(req.sectors > 0, "empty request");
         assert!(
             req.lba + req.sectors <= self.capacity_sectors(),
@@ -163,7 +205,37 @@ impl Disk {
             self.capacity_sectors()
         );
         let start = now.max(self.free_at);
-        let service = self.service_time(start, req);
+        let mut service = self.service_time(start, req);
+        if let Some(inj) = &mut self.faults {
+            let factor = inj.slow_factor(start);
+            if factor > 1.0 {
+                service = service.mul_f64(factor);
+            }
+            match inj.draw() {
+                Fault::MediaError => {
+                    self.free_at = start + service;
+                    self.stats.busy_time += service;
+                    self.stats.media_errors += 1;
+                    return IoOutcome::MediaError(self.free_at);
+                }
+                Fault::Timeout => {
+                    let hang = inj.command_timeout();
+                    self.free_at = start + hang;
+                    self.stats.busy_time += hang;
+                    self.stats.timeouts += 1;
+                    return IoOutcome::Timeout(self.free_at);
+                }
+                Fault::None => {
+                    if !inj.is_patient() && service > inj.command_timeout() {
+                        let report = start + inj.command_timeout();
+                        self.free_at = start + service;
+                        self.stats.busy_time += service;
+                        self.stats.timeouts += 1;
+                        return IoOutcome::Timeout(report);
+                    }
+                }
+            }
+        }
         self.free_at = start + service;
         self.stats.busy_time += service;
         self.stats.sectors += req.sectors;
@@ -171,7 +243,7 @@ impl Disk {
             OpKind::Read => self.stats.reads += 1,
             OpKind::Write => self.stats.writes += 1,
         }
-        self.free_at
+        IoOutcome::Ok(self.free_at)
     }
 
     /// Computes the service time of `req` starting at `start`, updating
@@ -310,7 +382,7 @@ mod tests {
         // Head starts at cylinder 0; LBA 0's slot is 0; at t=0 the
         // spindle is at angle 0. Only the transfer remains.
         let mut d = test_disk();
-        let done = d.submit(SimTime::ZERO, &read(0, 1));
+        let done = d.submit(SimTime::ZERO, &read(0, 1)).expect_ok();
         assert_eq!(done, SimTime::ZERO + SimDuration::from_micros(100));
         assert_eq!(d.stats().seek_time, SimDuration::ZERO);
         assert_eq!(d.stats().rotation_time, SimDuration::ZERO);
@@ -321,7 +393,7 @@ mod tests {
         // Sector 50 of track 0 sits half a revolution away: 5 ms wait
         // plus 100 us transfer.
         let mut d = test_disk();
-        let done = d.submit(SimTime::ZERO, &read(50, 1));
+        let done = d.submit(SimTime::ZERO, &read(50, 1)).expect_ok();
         assert_eq!(
             done,
             SimTime::ZERO + SimDuration::from_millis(5) + SimDuration::from_micros(100)
@@ -334,7 +406,7 @@ mod tests {
         // requires waiting 9 ms (90 slots).
         let mut d = test_disk();
         let t0 = SimTime::from_millis(6);
-        let done = d.submit(t0, &read(50, 1));
+        let done = d.submit(t0, &read(50, 1)).expect_ok();
         assert_eq!(
             done,
             t0 + SimDuration::from_millis(9) + SimDuration::from_micros(100)
@@ -347,7 +419,7 @@ mod tests {
         // Cylinder 10 = LBA 4000. Seek from 0 to 10 = 2.0 ms (the
         // calibration point), landing at spindle angle 2.0 ms = slot 20;
         // target slot 0 needs an 8 ms wait, then 100 us transfer.
-        let done = d.submit(SimTime::ZERO, &read(4000, 1));
+        let done = d.submit(SimTime::ZERO, &read(4000, 1)).expect_ok();
         let expect = SimDuration::from_millis(2)
             + SimDuration::from_millis(8)
             + SimDuration::from_micros(100);
@@ -358,8 +430,8 @@ mod tests {
     #[test]
     fn sequential_submission_is_fcfs() {
         let mut d = test_disk();
-        let first = d.submit(SimTime::ZERO, &read(0, 10));
-        let second = d.submit(SimTime::ZERO, &read(10, 10));
+        let first = d.submit(SimTime::ZERO, &read(0, 10)).expect_ok();
+        let second = d.submit(SimTime::ZERO, &read(10, 10)).expect_ok();
         assert!(second > first);
         assert!(d.is_busy(SimTime::ZERO));
         assert!(!d.is_busy(second));
@@ -371,9 +443,9 @@ mod tests {
         // Reading the next sectors right where the head sits should
         // cost pure transfer time: no seek, no rotation gap.
         let mut d = test_disk();
-        let t1 = d.submit(SimTime::ZERO, &read(0, 10));
+        let t1 = d.submit(SimTime::ZERO, &read(0, 10)).expect_ok();
         let rot_before = d.stats().rotation_time;
-        let t2 = d.submit(t1, &read(10, 10));
+        let t2 = d.submit(t1, &read(10, 10)).expect_ok();
         assert_eq!(t2 - t1, SimDuration::from_micros(1000));
         assert_eq!(d.stats().rotation_time, rot_before);
     }
@@ -384,7 +456,7 @@ mod tests {
         // 150 sectors from LBA 0: 100 on head 0, head switch (500 us),
         // 50 on head 1. Skew is zero on the test disk, so the switch is
         // a pure cost.
-        let done = d.submit(SimTime::ZERO, &read(0, 150));
+        let done = d.submit(SimTime::ZERO, &read(0, 150)).expect_ok();
         let expect = SimDuration::from_micros(100) * 150 + SimDuration::from_micros(500);
         assert_eq!(done, SimTime::ZERO + expect);
     }
@@ -394,7 +466,7 @@ mod tests {
         let mut d = test_disk();
         // A full cylinder is 400 sectors; read 410 starting at 0:
         // 3 head switches within cylinder 0 plus one cylinder switch.
-        let done = d.submit(SimTime::ZERO, &read(0, 410));
+        let done = d.submit(SimTime::ZERO, &read(0, 410)).expect_ok();
         let expect = SimDuration::from_micros(100) * 410
             + SimDuration::from_micros(500) * 3
             + SimDuration::from_millis(1); // track-to-track = 1 ms calibration
@@ -406,16 +478,16 @@ mod tests {
         let m = DiskModel::hp_c3325();
         let mut dr = Disk::new(m.clone(), SimDuration::ZERO);
         let mut dw = Disk::new(m, SimDuration::ZERO);
-        let tr = dr.submit(SimTime::ZERO, &read(5000, 16));
-        let tw = dw.submit(SimTime::ZERO, &write(5000, 16));
+        let tr = dr.submit(SimTime::ZERO, &read(5000, 16)).expect_ok();
+        let tw = dw.submit(SimTime::ZERO, &write(5000, 16)).expect_ok();
         assert!(tw >= tr, "write {tw} < read {tr}");
     }
 
     #[test]
     fn arm_position_persists_between_requests() {
         let mut d = test_disk();
-        let t1 = d.submit(SimTime::ZERO, &read(4000, 1)); // cylinder 10
-        d.submit(t1, &read(4000, 1)); // same cylinder: no seek
+        let t1 = d.submit(SimTime::ZERO, &read(4000, 1)).expect_ok(); // cylinder 10
+        d.submit(t1, &read(4000, 1)).expect_ok(); // same cylinder: no seek
         assert_eq!(d.stats().seek_time, SimDuration::from_millis(2));
     }
 
@@ -423,8 +495,8 @@ mod tests {
     fn cache_hit_skips_mechanics() {
         let mut d = Disk::new(DiskModel::test_disk(), SimDuration::ZERO)
             .with_cache(SegmentedCache::new(4, 256));
-        let t1 = d.submit(SimTime::ZERO, &read(50, 8));
-        let t2 = d.submit(t1, &read(50, 8));
+        let t1 = d.submit(SimTime::ZERO, &read(50, 8)).expect_ok();
+        let t2 = d.submit(t1, &read(50, 8)).expect_ok();
         // Bus time for 8 sectors at 10 MB/s = 409.6 us, well under the
         // mechanical time.
         assert!(t2 - t1 < SimDuration::from_millis(1));
@@ -435,9 +507,9 @@ mod tests {
     fn write_invalidates_cache() {
         let mut d = Disk::new(DiskModel::test_disk(), SimDuration::ZERO)
             .with_cache(SegmentedCache::new(4, 256));
-        let t1 = d.submit(SimTime::ZERO, &read(50, 8));
-        let t2 = d.submit(t1, &write(52, 2));
-        let t3 = d.submit(t2, &read(50, 8));
+        let t1 = d.submit(SimTime::ZERO, &read(50, 8)).expect_ok();
+        let t2 = d.submit(t1, &write(52, 2)).expect_ok();
+        let t3 = d.submit(t2, &read(50, 8)).expect_ok();
         assert_eq!(d.stats().cache_hits, 0);
         assert!(t3 - t2 > SimDuration::from_millis(1));
     }
@@ -446,8 +518,8 @@ mod tests {
     fn spin_phase_shifts_rotation() {
         let mut a = Disk::new(DiskModel::test_disk(), SimDuration::ZERO);
         let mut b = Disk::new(DiskModel::test_disk(), SimDuration::from_millis(5));
-        let ta = a.submit(SimTime::ZERO, &read(0, 1));
-        let tb = b.submit(SimTime::ZERO, &read(0, 1));
+        let ta = a.submit(SimTime::ZERO, &read(0, 1)).expect_ok();
+        let tb = b.submit(SimTime::ZERO, &read(0, 1)).expect_ok();
         assert_ne!(ta, tb);
     }
 
@@ -455,16 +527,16 @@ mod tests {
     fn spin_synchronised_disks_agree() {
         let mut a = Disk::new(DiskModel::test_disk(), SimDuration::ZERO);
         let mut b = Disk::new(DiskModel::test_disk(), SimDuration::ZERO);
-        let ta = a.submit(SimTime::from_millis(3), &read(70, 4));
-        let tb = b.submit(SimTime::from_millis(3), &read(70, 4));
+        let ta = a.submit(SimTime::from_millis(3), &read(70, 4)).expect_ok();
+        let tb = b.submit(SimTime::from_millis(3), &read(70, 4)).expect_ok();
         assert_eq!(ta, tb);
     }
 
     #[test]
     fn stats_accumulate() {
         let mut d = test_disk();
-        let t1 = d.submit(SimTime::ZERO, &read(0, 4));
-        d.submit(t1, &write(4000, 4));
+        let t1 = d.submit(SimTime::ZERO, &read(0, 4)).expect_ok();
+        d.submit(t1, &write(4000, 4)).expect_ok();
         let s = d.stats();
         assert_eq!(s.reads, 1);
         assert_eq!(s.writes, 1);
@@ -473,21 +545,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "failed disk")]
-    fn failed_disk_rejects_io() {
+    fn failed_disk_reports_failed_outcome() {
         let mut d = test_disk();
         d.fail();
-        let _ = d.submit(SimTime::ZERO, &read(0, 1));
+        assert_eq!(d.submit(SimTime::ZERO, &read(0, 1)), IoOutcome::Failed);
     }
 
     #[test]
-    fn replace_restores_service() {
+    fn replace_restores_service_with_a_fresh_history() {
         let mut d = test_disk();
+        let t = d.submit(SimTime::ZERO, &read(0, 4)).expect_ok();
+        assert!(t > SimTime::ZERO);
         d.fail();
         assert!(d.is_failed());
         d.replace();
         assert!(!d.is_failed());
-        let _ = d.submit(SimTime::ZERO, &read(0, 1));
+        // The spare carries none of the pulled unit's state.
+        assert_eq!(d.stats().reads, 0);
+        assert_eq!(d.stats().busy_time, SimDuration::ZERO);
+        assert_eq!(d.free_at(), SimTime::ZERO);
+        let _ = d.submit(SimTime::ZERO, &read(0, 1)).expect_ok();
     }
 
     #[test]
@@ -495,7 +572,7 @@ mod tests {
     fn out_of_range_request_rejected() {
         let mut d = test_disk();
         let cap = d.capacity_sectors();
-        let _ = d.submit(SimTime::ZERO, &read(cap - 1, 2));
+        let _ = d.submit(SimTime::ZERO, &read(cap - 1, 2)).expect_ok();
     }
 
     #[test]
@@ -511,11 +588,114 @@ mod tests {
         for _ in 0..200 {
             let lba = rng.next_below(cap - 16);
             let begin = t + SimDuration::from_millis(50); // idle gaps
-            let done = d.submit(begin, &read(lba, 16));
+            let done = d.submit(begin, &read(lba, 16)).expect_ok();
             total += done - begin;
             t = done;
         }
         let mean_ms = total.as_millis_f64() / 200.0;
         assert!((10.0..30.0).contains(&mean_ms), "mean service {mean_ms} ms");
+    }
+
+    use crate::fault::{FailSlowWindow, FaultProfile};
+    use afraid_sim::rng::SplitMix64;
+
+    fn profile(media: f64, timeout: f64) -> FaultProfile {
+        FaultProfile {
+            media_error_per_io: media,
+            timeout_per_io: timeout,
+            command_timeout: SimDuration::from_millis(500),
+        }
+    }
+
+    #[test]
+    fn media_error_consumes_full_service() {
+        let mut faulty = test_disk();
+        faulty.set_fault_injector(FaultInjector::new(profile(1.0, 0.0), SplitMix64::new(1)));
+        let mut clean = test_disk();
+        let ok = clean.submit(SimTime::ZERO, &read(50, 8)).expect_ok();
+        match faulty.submit(SimTime::ZERO, &read(50, 8)) {
+            IoOutcome::MediaError(at) => assert_eq!(at, ok),
+            other => panic!("expected media error, got {other:?}"),
+        }
+        assert_eq!(faulty.stats().media_errors, 1);
+        assert_eq!(faulty.stats().reads, 0);
+        assert_eq!(faulty.free_at(), ok);
+    }
+
+    #[test]
+    fn timeout_occupies_the_drive_for_the_command_timeout() {
+        let mut d = test_disk();
+        d.set_fault_injector(FaultInjector::new(profile(0.0, 1.0), SplitMix64::new(1)));
+        match d.submit(SimTime::ZERO, &read(50, 8)) {
+            IoOutcome::Timeout(at) => {
+                assert_eq!(at, SimTime::ZERO + SimDuration::from_millis(500));
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert_eq!(d.stats().timeouts, 1);
+        assert_eq!(d.free_at(), SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn fail_slow_inflates_service_and_overruns_the_timeout() {
+        // Inside the window every mechanical service is multiplied;
+        // once the inflated service exceeds the command timeout the
+        // controller hears a timeout at the deadline while the drive
+        // keeps grinding until the inflated completion.
+        let mut d = test_disk();
+        d.set_fault_injector(
+            FaultInjector::new(profile(0.0, 0.0), SplitMix64::new(1)).with_fail_slow(
+                FailSlowWindow {
+                    start: SimTime::ZERO,
+                    until: SimTime::from_secs(100),
+                    factor: 200.0,
+                },
+            ),
+        );
+        let mut clean = test_disk();
+        let ok = clean.submit(SimTime::ZERO, &read(50, 8)).expect_ok();
+        let service = ok.since(SimTime::ZERO);
+        match d.submit(SimTime::ZERO, &read(50, 8)) {
+            IoOutcome::Timeout(at) => {
+                assert_eq!(at, SimTime::ZERO + SimDuration::from_millis(500));
+            }
+            other => panic!("expected overrun timeout, got {other:?}"),
+        }
+        assert_eq!(d.free_at(), SimTime::ZERO + service.mul_f64(200.0));
+    }
+
+    #[test]
+    fn patient_mode_serves_slow_commands_without_timeouts() {
+        let mut d = test_disk();
+        d.set_fault_injector(
+            FaultInjector::new(profile(1.0, 0.0), SplitMix64::new(1)).with_fail_slow(
+                FailSlowWindow {
+                    start: SimTime::ZERO,
+                    until: SimTime::from_secs(100),
+                    factor: 200.0,
+                },
+            ),
+        );
+        d.set_patient(true);
+        let mut clean = test_disk();
+        let ok = clean.submit(SimTime::ZERO, &read(50, 8)).expect_ok();
+        let done = d.submit(SimTime::ZERO, &read(50, 8)).expect_ok();
+        assert_eq!(done, SimTime::ZERO + ok.since(SimTime::ZERO).mul_f64(200.0));
+        assert_eq!(d.stats().media_errors, 0);
+        assert_eq!(d.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn inert_injector_leaves_completions_bit_identical() {
+        let mut with = test_disk();
+        with.set_fault_injector(FaultInjector::new(profile(0.0, 0.0), SplitMix64::new(9)));
+        let mut without = test_disk();
+        let mut t_with = SimTime::ZERO;
+        let mut t_without = SimTime::ZERO;
+        for lba in [0u64, 4000, 50, 123, 9000] {
+            t_with = with.submit(t_with, &read(lba, 8)).expect_ok();
+            t_without = without.submit(t_without, &read(lba, 8)).expect_ok();
+            assert_eq!(t_with, t_without);
+        }
     }
 }

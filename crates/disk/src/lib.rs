@@ -22,12 +22,16 @@
 //!   disabled, as the paper deliberately minimised cache effects.
 //! * **Request schedulers** — FCFS, CLOOK, SSTF and SCAN ([`sched`]);
 //!   the paper uses CLOOK in the host driver and FCFS at the back end.
+//! * **Transient faults** — an optional deterministic per-I/O fault
+//!   process: media errors, command timeouts and fail-slow service
+//!   inflation ([`fault`]).
 //!
 //! The model is deterministic: a request's service time depends only on
 //! the disk state and the simulated clock.
 
 pub mod cache;
 pub mod disk;
+pub mod fault;
 pub mod geometry;
 pub mod model;
 pub mod sched;
@@ -35,6 +39,7 @@ pub mod seek;
 
 pub use cache::SegmentedCache;
 pub use disk::{Disk, DiskRequest, DiskStats, OpKind};
+pub use fault::{FailSlowWindow, FaultInjector, FaultProfile, IoOutcome};
 pub use geometry::{Chs, Geometry, Zone};
 pub use model::DiskModel;
 pub use sched::{Policy, Scheduler};

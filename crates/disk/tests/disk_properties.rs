@@ -35,7 +35,7 @@ proptest! {
             let lba = ((cap - sectors) as f64 * frac) as u64;
             let op = if is_write { OpKind::Write } else { OpKind::Read };
             let before = now.max(disk.free_at());
-            let done = disk.submit(now, &DiskRequest { lba, sectors, op });
+            let done = disk.submit(now, &DiskRequest { lba, sectors, op }).expect_ok();
             let service = done.since(before);
 
             // Lower bound: media transfer of all sectors at the
@@ -76,7 +76,7 @@ proptest! {
             let done = disk.submit(
                 SimTime::ZERO,
                 &DiskRequest { lba, sectors, op: OpKind::Read },
-            );
+            ).expect_ok();
             prop_assert!(done >= last);
             last = done;
         }
@@ -93,7 +93,7 @@ proptest! {
         for (frac, sectors, is_write) in &reqs {
             let lba = ((cap - sectors) as f64 * frac) as u64;
             let op = if *is_write { OpKind::Write } else { OpKind::Read };
-            disk.submit(SimTime::ZERO, &DiskRequest { lba, sectors: *sectors, op });
+            disk.submit(SimTime::ZERO, &DiskRequest { lba, sectors: *sectors, op }).expect_ok();
             expected_sectors += sectors;
         }
         let s = disk.stats();

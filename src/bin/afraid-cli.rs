@@ -39,6 +39,13 @@ RUN OPTIONS:
     --latent <rate>       latent sector errors per disk-hour (default: 0)
     --tour <secs>         target tour period for the dwell model when no
                           tour completes (default: 3600)
+    --transient <p>[:<q>] per-I/O media-error probability p and command
+                          timeout probability q (default: 0, faults off)
+    --fail-slow <d>@<s>+<w>x<f>
+                          disk d serves I/O f times slower from s seconds
+                          for w seconds (trips the health scoreboard)
+    --evict-threshold <t> EWMA fault score that condemns a disk for
+                          proactive eviction (default: 0 = never evict)
     --json                emit the full result as JSON
 ";
 
@@ -106,6 +113,7 @@ fn run(args: &[String]) -> ExitCode {
     let mut opts = RunOptions::default();
     let mut json = false;
     let mut scrub = afraid::config::ScrubConfig::default();
+    let mut faults = afraid::config::FaultConfig::default();
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -195,6 +203,60 @@ fn run(args: &[String]) -> ExitCode {
                 Some(s) => scrub.tour_period = SimDuration::from_secs_f64(s),
                 None => return ExitCode::FAILURE,
             },
+            "--transient" => {
+                let Some(v) = value("--transient") else {
+                    return ExitCode::FAILURE;
+                };
+                let (p, q) = match v.split_once(':') {
+                    Some((p, q)) => (p.parse::<f64>(), q.parse::<f64>()),
+                    None => (v.parse::<f64>(), Ok(0.0)),
+                };
+                match (p, q) {
+                    (Ok(p), Ok(q)) => {
+                        faults.media_error_per_io = p;
+                        faults.timeout_per_io = q;
+                    }
+                    _ => {
+                        eprintln!("--transient wants <p>[:<q>], got '{v}'");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--fail-slow" => {
+                let Some(v) = value("--fail-slow") else {
+                    return ExitCode::FAILURE;
+                };
+                let parsed = v.split_once('@').and_then(|(d, rest)| {
+                    let (s, rest) = rest.split_once('+')?;
+                    let (w, f) = rest.split_once('x')?;
+                    Some((
+                        d.parse::<u32>().ok()?,
+                        s.parse::<f64>().ok()?,
+                        w.parse::<f64>().ok()?,
+                        f.parse::<f64>().ok()?,
+                    ))
+                });
+                match parsed {
+                    Some((disk, start, window, factor)) => {
+                        faults.fail_slow = Some(afraid::config::FailSlowConfig {
+                            disk,
+                            start: SimTime::from_secs_f64(start),
+                            duration: SimDuration::from_secs_f64(window),
+                            factor,
+                        });
+                    }
+                    None => {
+                        eprintln!("--fail-slow wants <disk>@<start>+<window>x<factor>, got '{v}'");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--evict-threshold" => {
+                match value("--evict-threshold").and_then(|v| v.parse::<f64>().ok()) {
+                    Some(t) => faults.evict_threshold = t,
+                    None => return ExitCode::FAILURE,
+                }
+            }
             "--json" => json = true,
             other => {
                 eprintln!("unknown option '{other}'");
@@ -207,6 +269,7 @@ fn run(args: &[String]) -> ExitCode {
     let mut cfg = ArrayConfig::paper_default(policy);
     cfg.disks = disks;
     cfg.scrub = scrub;
+    cfg.faults = faults;
     if let Err(e) = cfg.validate() {
         eprintln!("invalid configuration: {e}");
         return ExitCode::FAILURE;
@@ -245,7 +308,18 @@ fn run(args: &[String]) -> ExitCode {
         "mean I/O     {:.2} ms (reads {:.2}, writes {:.2})",
         m.mean_io_ms, m.mean_read_ms, m.mean_write_ms
     );
-    println!("p95 / p99    {:.2} / {:.2} ms", m.p95_io_ms, m.p99_io_ms);
+    println!(
+        "p50/p95/p99  {:.2} / {:.2} / {:.2} ms (reads {:.2} / {:.2} / {:.2}, writes {:.2} / {:.2} / {:.2})",
+        m.p50_io_ms,
+        m.p95_io_ms,
+        m.p99_io_ms,
+        m.p50_read_ms,
+        m.p95_read_ms,
+        m.p99_read_ms,
+        m.p50_write_ms,
+        m.p95_write_ms,
+        m.p99_write_ms
+    );
     println!(
         "parity lag   mean {:.1} KB, peak {:.1} KB, unprotected {:.2}% of time",
         m.mean_parity_lag_bytes / 1024.0,
@@ -267,6 +341,22 @@ fn run(args: &[String]) -> ExitCode {
             m.latent_repaired
         );
     }
+    if cfg.faults.active() {
+        println!(
+            "transient    {} media errors, {} timeouts; {} retries (p50/p95/p99 {:.2} / {:.2} / {:.2} ms to recover)",
+            m.media_errors, m.timeouts, m.retries, m.retry_p50_ms, m.retry_p95_ms, m.retry_p99_ms
+        );
+        println!(
+            "             {} exhausted, {} reconstruct-read fallbacks, {} degraded write completions",
+            m.io_exhausted, m.reconstruct_fallbacks, m.degraded_completions
+        );
+        if m.evictions > 0 {
+            println!(
+                "eviction     {} disk(s) evicted, exposure window {:.1}s",
+                m.evictions, m.evict_exposure_secs
+            );
+        }
+    }
     let avail = availability(&cfg, m);
     println!(
         "MTTDL        disk-related {:.2e} h, overall {:.2e} h",
@@ -276,6 +366,12 @@ fn run(args: &[String]) -> ExitCode {
         println!(
             "MTTDL latent {:.2e} h ({:.3} B/h)",
             avail.mttdl_latent, avail.mdlr_latent
+        );
+    }
+    if avail.mttdl_evict.is_finite() {
+        println!(
+            "MTTDL evict  {:.2e} h ({:.3} B/h)",
+            avail.mttdl_evict, avail.mdlr_evict
         );
     }
     println!(
@@ -297,6 +393,9 @@ fn run(args: &[String]) -> ExitCode {
     }
     if let Some(t) = result.reprotected_at {
         println!("NVRAM-loss sweep completed at {t}");
+    }
+    if let Some(t) = result.evicted_at {
+        println!("health scoreboard evicted disk at {t}");
     }
     if let Some(t) = result.rebuilt_at {
         println!("spare rebuild completed at {t}");

@@ -256,6 +256,35 @@ proptest! {
         prop_assert_eq!(a.end, b.end);
     }
 
+    /// Transient-fault runs are bit-for-bit deterministic: the same
+    /// fault seed, rates, and workload give identical metrics and the
+    /// identical loss report, whatever the injected failure timing.
+    #[test]
+    fn transient_fault_runs_are_deterministic(
+        reqs in prop::collection::vec(req_strategy(), 1..40),
+        fault_seed in any::<u64>(),
+        media in 0.0f64..0.02,
+        timeout in 0.0f64..0.01,
+        disk in 0u32..5,
+        fail_ms in 1u64..20_000,
+    ) {
+        let trace = build_trace(&reqs);
+        let mut cfg = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        cfg.faults.media_error_per_io = media;
+        cfg.faults.timeout_per_io = timeout;
+        cfg.faults.seed = fault_seed;
+        let opts = RunOptions {
+            fail_disk: Some((disk, SimTime::from_millis(fail_ms))),
+            ..RunOptions::default()
+        };
+        let a = run_trace(&cfg, &trace, &opts);
+        let b = run_trace(&cfg, &trace, &opts);
+        prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
     /// The NVRAM-failure sweep always restores full protection, and a
     /// failure after the sweep is lossless.
     #[test]
