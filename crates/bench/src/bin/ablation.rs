@@ -22,6 +22,9 @@
 //!    only if the workload stays fixed.
 //! 7. **RAID 6 + AFRAID** (paper §5) — critical-path I/Os and MTTDL
 //!    for full dual parity, deferred Q, and deferred P+Q.
+//!
+//! Every simulated study fans its variant cells across `--jobs N`
+//! workers; the two traces are generated once and shared by all cells.
 
 use afraid::config::ArrayConfig;
 use afraid::driver::{run_trace, RunOptions};
@@ -37,8 +40,10 @@ use afraid_sim::time::SimDuration;
 use afraid_trace::workloads::{WorkloadKind, WorkloadSpec};
 
 fn main() {
-    let duration = harness::duration_from_args();
+    let args = harness::bench_args();
+    let duration = args.duration;
     let kinds = [WorkloadKind::Snake, WorkloadKind::Att];
+    let traces = harness::traces_for(&kinds, duration, args.jobs);
     println!(
         "Ablations; {}s traces, seed {}",
         duration.as_secs_f64(),
@@ -53,21 +58,26 @@ fn main() {
     );
     println!("{header}");
     rule(header.len());
-    for kind in kinds {
-        let trace = harness::trace_for(kind, duration);
+    let mut cells = Vec::new();
+    for ki in 0..kinds.len() {
         for delay_ms in [10u64, 100, 1000] {
-            let mut cfg = ArrayConfig::paper_default(ParityPolicy::IdleOnly);
-            cfg.idle_delay = SimDuration::from_millis(delay_ms);
-            let r = run_trace(&cfg, &trace, &RunOptions::default());
-            println!(
-                "{:<9} {:>8}ms {:>12.2} {:>12} {:>8.1}%",
-                kind.name(),
-                delay_ms,
-                r.metrics.mean_io_ms,
-                bytes(r.metrics.mean_parity_lag_bytes),
-                r.metrics.frac_unprotected * 100.0
-            );
+            cells.push((ki, delay_ms));
         }
+    }
+    let results = harness::run_variants(args.jobs, &cells, |&(ki, delay_ms)| {
+        let mut cfg = ArrayConfig::paper_default(ParityPolicy::IdleOnly);
+        cfg.idle_delay = SimDuration::from_millis(delay_ms);
+        run_trace(&cfg, &traces[ki], &RunOptions::default())
+    });
+    for (&(ki, delay_ms), r) in cells.iter().zip(&results) {
+        println!(
+            "{:<9} {:>8}ms {:>12.2} {:>12} {:>8.1}%",
+            kinds[ki].name(),
+            delay_ms,
+            r.metrics.mean_io_ms,
+            bytes(r.metrics.mean_parity_lag_bytes),
+            r.metrics.frac_unprotected * 100.0
+        );
     }
 
     println!();
@@ -78,24 +88,28 @@ fn main() {
     );
     println!("{header}");
     rule(header.len());
-    for kind in kinds {
-        let trace = harness::trace_for(kind, duration);
+    let mut cells = Vec::new();
+    for ki in 0..kinds.len() {
         for batch in [1u64, 8, 32] {
-            let mut cfg = ArrayConfig::paper_default(ParityPolicy::IdleOnly);
-            cfg.scrub_batch = batch;
-            let r = run_trace(&cfg, &trace, &RunOptions::default());
-            let per =
-                r.metrics.stripes_scrubbed as f64 / r.metrics.io.scrub_read.max(1) as f64 * 4.0; // 4 data units per stripe
-            println!(
-                "{:<9} {:>7} {:>12.2} {:>12} {:>13.2} {:>8.1}%",
-                kind.name(),
-                batch,
-                r.metrics.mean_io_ms,
-                r.metrics.io.scrub_read,
-                per,
-                r.metrics.frac_unprotected * 100.0
-            );
+            cells.push((ki, batch));
         }
+    }
+    let results = harness::run_variants(args.jobs, &cells, |&(ki, batch)| {
+        let mut cfg = ArrayConfig::paper_default(ParityPolicy::IdleOnly);
+        cfg.scrub_batch = batch;
+        run_trace(&cfg, &traces[ki], &RunOptions::default())
+    });
+    for (&(ki, batch), r) in cells.iter().zip(&results) {
+        let per = r.metrics.stripes_scrubbed as f64 / r.metrics.io.scrub_read.max(1) as f64 * 4.0; // 4 data units per stripe
+        println!(
+            "{:<9} {:>7} {:>12.2} {:>12} {:>13.2} {:>8.1}%",
+            kinds[ki].name(),
+            batch,
+            r.metrics.mean_io_ms,
+            r.metrics.io.scrub_read,
+            per,
+            r.metrics.frac_unprotected * 100.0
+        );
     }
 
     println!();
@@ -106,23 +120,31 @@ fn main() {
     );
     println!("{header}");
     rule(header.len());
-    for kind in kinds {
-        let trace = harness::trace_for(kind, duration);
+    let mut cells = Vec::new();
+    for ki in 0..kinds.len() {
         for bits in [1u32, 4, 16] {
-            let mut cfg = ArrayConfig::paper_default(ParityPolicy::IdleOnly);
-            cfg.mark_granularity = MarkGranularity::rows(bits);
-            let r = run_trace(&cfg, &trace, &RunOptions::default());
-            let stripes = cfg.disk_model.geometry.capacity_sectors() / 16;
-            println!(
-                "{:<9} {:>6} {:>12.2} {:>12} {:>12} {:>11}",
-                kind.name(),
-                bits,
-                r.metrics.mean_io_ms,
-                bytes(r.metrics.mean_parity_lag_bytes),
-                r.metrics.io.scrub_read,
-                bytes((stripes * u64::from(bits)) as f64 / 8.0),
-            );
+            cells.push((ki, bits));
         }
+    }
+    let results = harness::run_variants(args.jobs, &cells, |&(ki, bits)| {
+        let mut cfg = ArrayConfig::paper_default(ParityPolicy::IdleOnly);
+        cfg.mark_granularity = MarkGranularity::rows(bits);
+        let stripes = cfg.disk_model.geometry.capacity_sectors() / 16;
+        (
+            run_trace(&cfg, &traces[ki], &RunOptions::default()),
+            stripes,
+        )
+    });
+    for (&(ki, bits), (r, stripes)) in cells.iter().zip(&results) {
+        println!(
+            "{:<9} {:>6} {:>12.2} {:>12} {:>12} {:>11}",
+            kinds[ki].name(),
+            bits,
+            r.metrics.mean_io_ms,
+            bytes(r.metrics.mean_parity_lag_bytes),
+            r.metrics.io.scrub_read,
+            bytes((stripes * u64::from(bits)) as f64 / 8.0),
+        );
     }
 
     println!();
@@ -133,14 +155,17 @@ fn main() {
     );
     println!("{header}");
     rule(header.len());
-    for kind in kinds {
-        let trace = harness::trace_for(kind, duration);
+    let cells: Vec<usize> = (0..kinds.len()).collect();
+    let results = harness::run_variants(args.jobs, &cells, |&ki| {
         let cfg = ArrayConfig::paper_default(ParityPolicy::IdleOnly);
-        let pl = run_parity_logging(&cfg, &ParityLogConfig::default(), &trace);
-        let af = run_trace(&cfg, &trace, &RunOptions::default());
+        let pl = run_parity_logging(&cfg, &ParityLogConfig::default(), &traces[ki]);
+        let af = run_trace(&cfg, &traces[ki], &RunOptions::default());
+        (pl, af)
+    });
+    for (&ki, (pl, af)) in cells.iter().zip(&results) {
         println!(
             "{:<9} {:>14.2} {:>14.2} {:>9} {:>9}",
-            kind.name(),
+            kinds[ki].name(),
             pl.mean_io_ms,
             af.metrics.mean_io_ms,
             pl.log_flushes,
@@ -158,24 +183,30 @@ fn main() {
     );
     println!("{header}");
     rule(header.len());
-    for kind in kinds {
-        let trace = harness::trace_for(kind, duration);
-        for (name, pol) in [
-            ("fcfs", Policy::Fcfs),
-            ("clook", Policy::Clook),
-            ("sstf", Policy::Sstf),
-        ] {
-            let mut cfg = ArrayConfig::paper_default(ParityPolicy::IdleOnly);
-            cfg.host_policy = pol;
-            let r = run_trace(&cfg, &trace, &RunOptions::default());
-            println!(
-                "{:<9} {:>7} {:>12.2} {:>10.2}",
-                kind.name(),
-                name,
-                r.metrics.mean_io_ms,
-                r.metrics.p95_io_ms
-            );
+    let scheds = [
+        ("fcfs", Policy::Fcfs),
+        ("clook", Policy::Clook),
+        ("sstf", Policy::Sstf),
+    ];
+    let mut cells = Vec::new();
+    for ki in 0..kinds.len() {
+        for si in 0..scheds.len() {
+            cells.push((ki, si));
         }
+    }
+    let results = harness::run_variants(args.jobs, &cells, |&(ki, si)| {
+        let mut cfg = ArrayConfig::paper_default(ParityPolicy::IdleOnly);
+        cfg.host_policy = scheds[si].1;
+        run_trace(&cfg, &traces[ki], &RunOptions::default())
+    });
+    for (&(ki, si), r) in cells.iter().zip(&results) {
+        println!(
+            "{:<9} {:>7} {:>12.2} {:>10.2}",
+            kinds[ki].name(),
+            scheds[si].0,
+            r.metrics.mean_io_ms,
+            r.metrics.p95_io_ms
+        );
     }
 
     println!();
@@ -186,35 +217,46 @@ fn main() {
     );
     println!("{header}");
     rule(header.len());
-    for model in [
+    let models = [
         DiskModel::hp_c2247(),
         DiskModel::hp_c3325(),
         DiskModel::barracuda_7200(),
-    ] {
-        // Regenerate the trace against this array's capacity (older
-        // disks are smaller).
+    ];
+    // Regenerate the trace against each array's capacity (older disks
+    // are smaller), then fan all (model, design) cells out together.
+    let model_traces = harness::run_variants(args.jobs, &models, |model| {
         let unit_sectors = 8192 / 512;
         let stripes = model.geometry.capacity_sectors() / unit_sectors;
         let capacity = stripes * 4 * 8192;
-        let trace = WorkloadSpec::preset(WorkloadKind::Att).generate(
+        WorkloadSpec::preset(WorkloadKind::Att).generate(
             capacity.min(harness::TRACE_CAPACITY),
             duration,
             harness::seed(),
-        );
-        let mut means = Vec::new();
-        for (_, policy) in harness::headline_designs() {
-            let mut cfg = ArrayConfig::paper_default(policy);
-            cfg.disk_model = model.clone();
-            let r = run_trace(&cfg, &trace, &RunOptions::default());
-            means.push(r.metrics.mean_io_ms);
+        )
+    });
+    let designs = harness::headline_designs();
+    let mut cells = Vec::new();
+    for mi in 0..models.len() {
+        for di in 0..designs.len() {
+            cells.push((mi, di));
         }
+    }
+    let means = harness::run_variants(args.jobs, &cells, |&(mi, di)| {
+        let mut cfg = ArrayConfig::paper_default(designs[di].1);
+        cfg.disk_model = models[mi].clone();
+        run_trace(&cfg, &model_traces[mi], &RunOptions::default())
+            .metrics
+            .mean_io_ms
+    });
+    for (mi, model) in models.iter().enumerate() {
+        let row = &means[mi * designs.len()..(mi + 1) * designs.len()];
         println!(
             "{:<16} {:>10.2} {:>10.2} {:>10.2} {:>8.2}x",
             model.name,
-            means[0],
-            means[1],
-            means[2],
-            means[2] / means[1]
+            row[0],
+            row[1],
+            row[2],
+            row[2] / row[1]
         );
     }
 

@@ -24,7 +24,9 @@ fn main() {
     harness::rule(header.len());
 
     let cap = harness::TRACE_CAPACITY;
-    for (name, policy) in harness::headline_designs() {
+    let args = harness::bench_args();
+    let designs = harness::headline_designs();
+    let results = harness::run_variants(args.jobs, &designs, |(_, policy)| {
         let mut trace = Trace::new("small-write", cap);
         trace.push(IoRecord {
             time: SimTime::ZERO,
@@ -32,8 +34,10 @@ fn main() {
             bytes: 8 * 1024,
             kind: ReqKind::Write,
         });
-        let cfg = ArrayConfig::paper_default(policy);
-        let r = run_trace(&cfg, &trace, &RunOptions::default());
+        let cfg = ArrayConfig::paper_default(*policy);
+        run_trace(&cfg, &trace, &RunOptions::default())
+    });
+    for ((name, _), r) in designs.iter().zip(&results) {
         let io = r.metrics.io;
         println!(
             "{:<8} {:>9} {:>10} {:>10} {:>12.2} {:>12}",

@@ -11,32 +11,34 @@
 
 use afraid_bench::harness::{self, rule};
 use afraid_sim::stats::geometric_mean;
-use afraid_trace::record::Trace;
 use afraid_trace::workloads::WorkloadKind;
 
 fn main() {
-    let duration = harness::duration_from_args();
+    let args = harness::bench_args();
     println!(
         "Figure 3: performance vs availability (geometric means over all workloads, \
          normalised to RAID 5); {}s traces, seed {}",
-        duration.as_secs_f64(),
+        args.duration.as_secs_f64(),
         harness::seed()
     );
     println!();
 
-    let traces: Vec<Trace> = WorkloadKind::all()
-        .into_iter()
-        .map(|k| harness::trace_for(k, duration))
-        .collect();
+    let kinds = WorkloadKind::all();
+    let traces = harness::traces_for(&kinds, args.duration, args.jobs);
 
-    // RAID 5 reference per workload.
-    let mut raid5_io = Vec::new();
-    let mut raid5_overall = 0.0;
-    for trace in &traces {
-        let cell = harness::run_cell(trace, afraid::policy::ParityPolicy::AlwaysRaid5);
-        raid5_io.push(cell.result.metrics.mean_io_ms);
-        raid5_overall = cell.avail.mttdl_overall;
-    }
+    // One matrix over the whole sweep; the sweep's first column is
+    // RAID 5 and doubles as the per-workload reference.
+    let sweep = harness::policy_sweep();
+    let rows = harness::run_cells(args.jobs, &traces, &sweep);
+
+    let raid5_io: Vec<f64> = rows
+        .iter()
+        .map(|row| row[0].result.metrics.mean_io_ms)
+        .collect();
+    let raid5_overall = rows
+        .last()
+        .map(|row| row[0].avail.mttdl_overall)
+        .expect("at least one workload");
 
     let header = format!(
         "{:<12} {:>12} {:>14} {:>13} {:>15}",
@@ -45,11 +47,11 @@ fn main() {
     println!("{header}");
     rule(header.len());
 
-    for (name, policy) in harness::policy_sweep() {
+    for (p, (name, _)) in sweep.iter().enumerate() {
         let mut perf_ratio = Vec::new();
         let mut avail_ratio = Vec::new();
-        for (i, trace) in traces.iter().enumerate() {
-            let cell = harness::run_cell(trace, policy);
+        for (i, row) in rows.iter().enumerate() {
+            let cell = &row[p];
             perf_ratio.push(raid5_io[i] / cell.result.metrics.mean_io_ms);
             avail_ratio.push(cell.avail.mttdl_overall / raid5_overall);
         }

@@ -12,10 +12,10 @@ use afraid_bench::harness::{self, rule};
 use afraid_trace::workloads::WorkloadKind;
 
 fn main() {
-    let duration = harness::duration_from_args();
+    let args = harness::bench_args();
     println!(
         "Figure 4: mean I/O time (ms) per trace vs parity-update policy; {}s traces, seed {}",
-        duration.as_secs_f64(),
+        args.duration.as_secs_f64(),
         harness::seed()
     );
     println!();
@@ -28,11 +28,12 @@ fn main() {
     println!("{header}");
     rule(header.len());
 
-    for kind in WorkloadKind::all() {
-        let trace = harness::trace_for(kind, duration);
+    let kinds = WorkloadKind::all();
+    let traces = harness::traces_for(&kinds, args.duration, args.jobs);
+    let rows = harness::run_cells(args.jobs, &traces, &sweep);
+    for (kind, cells) in kinds.iter().zip(&rows) {
         let mut row = format!("{:<11}", kind.name());
-        for (_, policy) in &sweep {
-            let cell = harness::run_cell(&trace, *policy);
+        for cell in cells {
             row.push_str(&format!(" {:>10.2}", cell.result.metrics.mean_io_ms));
         }
         println!("{row}");

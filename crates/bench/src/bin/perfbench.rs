@@ -1,0 +1,195 @@
+//! Perfbench — wall-clock benchmark of the parallel experiment engine.
+//!
+//! Runs a fixed (trace × policy) cell matrix twice: once at `--jobs 1`
+//! (sequential reference) and once at the machine's core count, and
+//! reports wall clock, wall-clock events/second, and peak event-queue
+//! depth for each, plus the sequential-vs-parallel speedup and a
+//! bit-identity check over the serialized [`RunResult`]s.
+//!
+//! Usage: `perfbench [duration_secs] [--jobs N]`
+//!
+//! `duration_secs` scales the simulated traces (default 60 s — shorter
+//! than the paper tables so CI can afford it); `--jobs N` replaces the
+//! core-count run with an explicit worker count. Writes
+//! `BENCH_parallel_sweep.json` at the repository root.
+
+use std::time::Instant;
+
+use afraid_bench::harness;
+use afraid_trace::workloads::WorkloadKind;
+use serde::Serialize;
+
+/// Shorter default than the paper tables: perfbench exists to time the
+/// engine, not to reproduce figures, and CI runs it on every push.
+const DEFAULT_SECS: u64 = 60;
+
+#[derive(Serialize)]
+struct JobsRun {
+    jobs: usize,
+    wall_secs: f64,
+    trace_gen_secs: f64,
+    matrix_secs: f64,
+    events_total: u64,
+    /// Wall-clock event throughput. Lives only in this report — the
+    /// serialized `RunResult`s stay machine-independent.
+    events_per_sec_wall: f64,
+    peak_queue_depth: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    duration_secs: f64,
+    seed: u64,
+    workloads: Vec<String>,
+    policies: Vec<String>,
+    cells: usize,
+    runs: Vec<JobsRun>,
+    speedup: f64,
+    bit_identical: bool,
+    available_parallelism: usize,
+    note: String,
+}
+
+/// Runs the full matrix at `jobs` workers and returns timing plus the
+/// serialized results for the bit-identity check.
+fn run_at(
+    jobs: usize,
+    kinds: &[WorkloadKind],
+    duration: afraid_sim::time::SimDuration,
+) -> (JobsRun, String) {
+    let policies = harness::headline_designs();
+    let t0 = Instant::now();
+    let traces = harness::traces_for(kinds, duration, jobs);
+    let gen_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let rows = harness::run_cells(jobs, &traces, &policies);
+    let matrix_secs = t1.elapsed().as_secs_f64();
+    let wall = t0.elapsed().as_secs_f64();
+
+    let mut events_total = 0u64;
+    let mut peak = 0usize;
+    let mut blob = String::new();
+    for row in &rows {
+        for cell in row {
+            events_total += cell.result.metrics.events_processed;
+            peak = peak.max(cell.result.metrics.event_queue_peak);
+            blob.push_str(&serde_json::to_string(&cell.result).expect("serializable result"));
+            blob.push('\n');
+        }
+    }
+    let run = JobsRun {
+        jobs,
+        wall_secs: wall,
+        trace_gen_secs: gen_secs,
+        matrix_secs,
+        events_total,
+        events_per_sec_wall: if wall > 0.0 {
+            events_total as f64 / wall
+        } else {
+            0.0
+        },
+        peak_queue_depth: peak,
+    };
+    (run, blob)
+}
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0].starts_with("--") {
+        raw.insert(0, DEFAULT_SECS.to_string());
+    }
+    let args = {
+        let saved: Vec<String> = raw.clone();
+        // Reuse the harness parser by temporarily looking like its argv.
+        let (jobs, rest) = afraid_exp::jobs_from_args(&saved);
+        let secs: u64 = rest
+            .first()
+            .map(|s| s.parse().expect("duration must be integer seconds"))
+            .unwrap_or(DEFAULT_SECS);
+        (afraid_sim::time::SimDuration::from_secs(secs), jobs)
+    };
+    let duration = args.0;
+    let nproc = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // If --jobs was given use it for the parallel leg, else the core count.
+    let par_jobs = if args.1 > 1 { args.1 } else { nproc };
+
+    let kinds = [
+        WorkloadKind::Hplajw,
+        WorkloadKind::Snake,
+        WorkloadKind::CelloUsr,
+        WorkloadKind::Att,
+    ];
+    let policies = harness::headline_designs();
+    println!(
+        "Perfbench: {} workloads x {} policies, {}s traces, seed {}",
+        kinds.len(),
+        policies.len(),
+        duration.as_secs_f64(),
+        harness::seed()
+    );
+    println!("available parallelism: {nproc}; parallel leg uses jobs={par_jobs}");
+    println!();
+
+    let header = format!(
+        "{:<6} {:>10} {:>10} {:>10} {:>13} {:>14} {:>11}",
+        "jobs", "wall s", "gen s", "matrix s", "events", "events/s wall", "peak queue"
+    );
+    println!("{header}");
+    harness::rule(header.len());
+
+    let (seq, seq_blob) = run_at(1, &kinds, duration);
+    print_run(&seq);
+    let (par, par_blob) = run_at(par_jobs, &kinds, duration);
+    print_run(&par);
+
+    let speedup = if par.wall_secs > 0.0 {
+        seq.wall_secs / par.wall_secs
+    } else {
+        0.0
+    };
+    let identical = seq_blob == par_blob;
+    println!();
+    println!(
+        "speedup jobs={} vs jobs=1: {:.2}x; results bit-identical: {}",
+        par_jobs, speedup, identical
+    );
+    assert!(identical, "parallel results diverged from sequential");
+
+    let report = Report {
+        duration_secs: duration.as_secs_f64(),
+        seed: harness::seed(),
+        workloads: kinds.iter().map(|k| k.name().to_string()).collect(),
+        policies: policies.iter().map(|(n, _)| n.clone()).collect(),
+        cells: kinds.len() * policies.len(),
+        runs: vec![seq, par],
+        speedup,
+        bit_identical: identical,
+        available_parallelism: nproc,
+        note: "events_per_sec_wall is wall-clock throughput and varies by machine; \
+               serialized RunResults are bit-identical across job counts by construction."
+            .to_string(),
+    };
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_parallel_sweep.json"
+    );
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, json + "\n").expect("write BENCH_parallel_sweep.json");
+    println!("wrote {path}");
+}
+
+fn print_run(r: &JobsRun) {
+    println!(
+        "{:<6} {:>10.2} {:>10.2} {:>10.2} {:>13} {:>14.0} {:>11}",
+        r.jobs,
+        r.wall_secs,
+        r.trace_gen_secs,
+        r.matrix_secs,
+        r.events_total,
+        r.events_per_sec_wall,
+        r.peak_queue_depth
+    );
+}

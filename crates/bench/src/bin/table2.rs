@@ -12,10 +12,10 @@ use afraid_sim::stats::geometric_mean;
 use afraid_trace::workloads::WorkloadKind;
 
 fn main() {
-    let duration = harness::duration_from_args();
+    let args = harness::bench_args();
     println!(
         "Table 2 / Figure 2: mean I/O time (ms) per design; {}s traces, seed {}",
-        duration.as_secs_f64(),
+        args.duration.as_secs_f64(),
         harness::seed()
     );
     println!();
@@ -26,15 +26,14 @@ fn main() {
     println!("{header}");
     rule(header.len());
 
+    let kinds = WorkloadKind::all();
+    let traces = harness::traces_for(&kinds, args.duration, args.jobs);
+    let rows = harness::run_cells(args.jobs, &traces, &harness::headline_designs());
+
     let mut afraid_speedups = Vec::new();
     let mut raid0_speedups = Vec::new();
-    for kind in WorkloadKind::all() {
-        let trace = harness::trace_for(kind, duration);
-        let mut means = Vec::new();
-        for (_, policy) in harness::headline_designs() {
-            let cell = harness::run_cell(&trace, policy);
-            means.push(cell.result.metrics.mean_io_ms);
-        }
+    for ((kind, trace), row) in kinds.iter().zip(&traces).zip(&rows) {
+        let means: Vec<f64> = row.iter().map(|c| c.result.metrics.mean_io_ms).collect();
         let (raid0, afraid, raid5) = (means[0], means[1], means[2]);
         afraid_speedups.push(raid5 / afraid);
         raid0_speedups.push(raid5 / raid0);

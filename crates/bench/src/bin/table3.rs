@@ -14,10 +14,10 @@ use afraid_bench::harness::{self, bytes, rule};
 use afraid_trace::workloads::WorkloadKind;
 
 fn main() {
-    let duration = harness::duration_from_args();
+    let args = harness::bench_args();
     println!(
         "Table 3: parity lag and mean data loss rate; {}s traces, seed {}",
-        duration.as_secs_f64(),
+        args.duration.as_secs_f64(),
         harness::seed()
     );
     println!();
@@ -50,10 +50,11 @@ fn main() {
         ),
         ("raid5".to_string(), ParityPolicy::AlwaysRaid5),
     ];
-    for kind in WorkloadKind::all() {
-        let trace = harness::trace_for(kind, duration);
-        for (name, policy) in &policies {
-            let cell = harness::run_cell(&trace, *policy);
+    let kinds = WorkloadKind::all();
+    let traces = harness::traces_for(&kinds, args.duration, args.jobs);
+    let rows = harness::run_cells(args.jobs, &traces, &policies);
+    for (kind, row) in kinds.iter().zip(&rows) {
+        for ((name, _), cell) in policies.iter().zip(row) {
             let m = &cell.result.metrics;
             let a = &cell.avail;
             println!(

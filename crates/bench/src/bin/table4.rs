@@ -17,10 +17,10 @@ use afraid_sim::stats::geometric_mean;
 use afraid_trace::workloads::WorkloadKind;
 
 fn main() {
-    let duration = harness::duration_from_args();
+    let args = harness::bench_args();
     println!(
         "Table 4: mean time to data loss; {}s traces, seed {}",
-        duration.as_secs_f64(),
+        args.duration.as_secs_f64(),
         harness::seed()
     );
     println!();
@@ -64,12 +64,18 @@ fn main() {
         ),
     ];
 
+    let run_policies: Vec<(String, ParityPolicy)> = policies
+        .iter()
+        .map(|(name, policy, _)| (name.clone(), *policy))
+        .collect();
+    let kinds = WorkloadKind::all();
+    let traces = harness::traces_for(&kinds, args.duration, args.jobs);
+    let rows = harness::run_cells(args.jobs, &traces, &run_policies);
+
     let mut afraid_mttdl = Vec::new();
     let mut afraid_overall = Vec::new();
-    for kind in WorkloadKind::all() {
-        let trace = harness::trace_for(kind, duration);
-        for (name, policy, target) in &policies {
-            let cell = harness::run_cell(&trace, *policy);
+    for (kind, row) in kinds.iter().zip(&rows) {
+        for ((name, _, target), cell) in policies.iter().zip(row) {
             let m = &cell.result.metrics;
             let a = &cell.avail;
             if name == "afraid" {

@@ -1,11 +1,20 @@
-//! Shared experiment plumbing: configurations, runs, and table
-//! formatting.
+//! Shared experiment plumbing: configurations, runs, parallel fan-out,
+//! and table formatting.
+//!
+//! Every bench binary takes the same CLI shape: an optional positional
+//! duration in simulated seconds, plus `--jobs N` to fan independent
+//! experiment cells over N worker threads (default: all cores, or
+//! `AFRAID_JOBS`). Results are merged in matrix order, so the printed
+//! tables are byte-identical at any job count.
+
+use std::sync::Arc;
 
 use afraid::config::ArrayConfig;
 use afraid::driver::{run_trace, RunOptions, RunResult};
 use afraid::policy::ParityPolicy;
 use afraid::report::availability;
 use afraid_avail::report::AvailabilityReport;
+use afraid_exp::{jobs_from_args, map_parallel, run_matrix};
 use afraid_sim::time::SimDuration;
 use afraid_trace::record::Trace;
 use afraid_trace::workloads::{WorkloadKind, WorkloadSpec};
@@ -17,14 +26,32 @@ pub const TRACE_CAPACITY: u64 = 7 * 1024 * 1024 * 1024;
 /// Default simulated duration per run, seconds.
 pub const DEFAULT_DURATION_SECS: u64 = 600;
 
+/// Parsed common bench arguments.
+pub struct BenchArgs {
+    /// Simulated duration per run.
+    pub duration: SimDuration,
+    /// Worker threads for cell fan-out.
+    pub jobs: usize,
+}
+
+/// Parses `[duration_secs] [--jobs N]` from the process arguments.
+pub fn bench_args() -> BenchArgs {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (jobs, rest) = jobs_from_args(&raw);
+    let secs = rest
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_DURATION_SECS);
+    BenchArgs {
+        duration: SimDuration::from_secs(secs),
+        jobs,
+    }
+}
+
 /// Reads the duration from the first CLI argument, defaulting to
 /// [`DEFAULT_DURATION_SECS`].
 pub fn duration_from_args() -> SimDuration {
-    let secs = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_DURATION_SECS);
-    SimDuration::from_secs(secs)
+    bench_args().duration
 }
 
 /// Workload seed: `AFRAID_SEED` or 42.
@@ -42,7 +69,7 @@ pub fn policy_sweep() -> Vec<(String, ParityPolicy)> {
     let mut v = vec![("raid5".to_string(), ParityPolicy::AlwaysRaid5)];
     for target in [3.0e9, 1.0e9, 1.0e8, 3.0e7, 1.0e7, 3.0e6, 1.0e6] {
         v.push((
-            format!("mttdl_{:.0e}", target).replace("e", "e"),
+            format!("mttdl_{target:.0e}"),
             ParityPolicy::MttdlTarget {
                 target_hours: target,
             },
@@ -67,6 +94,13 @@ pub fn trace_for(kind: WorkloadKind, duration: SimDuration) -> Trace {
     WorkloadSpec::preset(kind).generate(TRACE_CAPACITY, duration, seed())
 }
 
+/// Generates one shared trace per workload, fanning generation over
+/// `jobs` workers. Each `Arc<Trace>` is then shared by every policy
+/// cell of its row instead of being regenerated per cell.
+pub fn traces_for(kinds: &[WorkloadKind], duration: SimDuration, jobs: usize) -> Vec<Arc<Trace>> {
+    afraid_exp::generate_traces(jobs, kinds, TRACE_CAPACITY, duration, seed())
+}
+
 /// One finished experiment cell.
 pub struct Cell {
     /// Run measurements.
@@ -81,6 +115,30 @@ pub fn run_cell(trace: &Trace, policy: ParityPolicy) -> Cell {
     let result = run_trace(&cfg, trace, &RunOptions::default());
     let avail = availability(&cfg, &result.metrics);
     Cell { result, avail }
+}
+
+/// Runs the full (trace × policy) matrix over `jobs` workers and
+/// returns rows in trace order, columns in policy order — the same
+/// shape and values a sequential double loop would produce.
+pub fn run_cells(
+    jobs: usize,
+    traces: &[Arc<Trace>],
+    policies: &[(String, ParityPolicy)],
+) -> Vec<Vec<Cell>> {
+    run_matrix(jobs, traces, policies, |trace, (_, policy), _| {
+        run_cell(trace, *policy)
+    })
+}
+
+/// Fans heterogeneous per-cell configurations (ablation studies) over
+/// `jobs` workers, preserving input order.
+pub fn run_variants<T, R, F>(jobs: usize, variants: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_parallel(jobs, variants, |_, v| f(v))
 }
 
 /// Formats hours compactly (e.g. `4.2e9 h`).
@@ -121,11 +179,44 @@ mod tests {
     }
 
     #[test]
+    fn sweep_names_are_wellformed() {
+        for (name, _) in policy_sweep() {
+            assert!(!name.is_empty());
+            assert!(!name.contains(' '), "bad sweep name {name:?}");
+        }
+        assert_eq!(policy_sweep()[1].0, "mttdl_3e9");
+    }
+
+    #[test]
     fn cell_runs_quickly_on_short_trace() {
         let trace = trace_for(WorkloadKind::Hplajw, SimDuration::from_secs(20));
         let cell = run_cell(&trace, ParityPolicy::IdleOnly);
         assert_eq!(cell.result.metrics.requests as usize, trace.len());
         assert!(cell.avail.mttdl_overall > 0.0);
+    }
+
+    #[test]
+    fn matrix_matches_individual_cells() {
+        let kinds = [WorkloadKind::Hplajw, WorkloadKind::Snake];
+        let duration = SimDuration::from_secs(10);
+        let traces = traces_for(&kinds, duration, 2);
+        let policies = headline_designs();
+        let rows = run_cells(4, &traces, &policies);
+        assert_eq!(rows.len(), 2);
+        for (t, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), 3);
+            for (p, cell) in row.iter().enumerate() {
+                let solo = run_cell(&traces[t], policies[p].1);
+                assert_eq!(
+                    cell.result.metrics.mean_io_ms,
+                    solo.result.metrics.mean_io_ms
+                );
+                assert_eq!(
+                    cell.result.metrics.events_processed,
+                    solo.result.metrics.events_processed
+                );
+            }
+        }
     }
 
     #[test]

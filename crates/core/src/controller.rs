@@ -47,6 +47,7 @@ use std::collections::HashMap;
 use afraid_disk::disk::{Disk, DiskRequest, OpKind};
 use afraid_disk::sched::Scheduler;
 use afraid_disk::{FailSlowWindow, FaultInjector, FaultProfile, IoOutcome};
+use afraid_sim::hash::FxHashMap;
 use afraid_sim::queue::{EventId, EventQueue};
 use afraid_sim::rng::SplitMix64;
 use afraid_sim::time::{SimDuration, SimTime};
@@ -57,7 +58,7 @@ use crate::config::ArrayConfig;
 use crate::faults::LatentErrors;
 use crate::health::Scoreboard;
 use crate::idle::IdleDetector;
-use crate::layout::Layout;
+use crate::layout::{Layout, UnitSlice};
 use crate::metrics::{IoCause, MetricsBuilder};
 use crate::nvram::MarkingMemory;
 use crate::policy::{Directives, Observations, ParityPolicy, PolicyEngine, WriteMode};
@@ -314,7 +315,7 @@ pub struct Controller {
     /// Requests admitted but blocked on a scrub-locked stripe.
     blocked: Vec<u32>,
     /// Per-stripe count of in-flight client writes.
-    writing: HashMap<u64, u32>,
+    writing: FxHashMap<u64, u32>,
     /// Per-stripe mark epoch, bumped on every marking.
     epochs: Vec<u32>,
     outstanding_writes: u32,
@@ -341,7 +342,7 @@ pub struct Controller {
     nvram_recovery: bool,
     /// Retry state for faulted I/Os, keyed by flight id. Empty unless
     /// fault injection is active.
-    flights: HashMap<u64, Flight>,
+    flights: FxHashMap<u64, Flight>,
     next_flight_id: u64,
     /// Per-disk EWMA health scores, when fault injection is active and
     /// eviction enabled.
@@ -363,6 +364,17 @@ pub struct Controller {
     /// delivered: no more arrivals will come, so background work must
     /// wind down rather than keep the event loop alive.
     pub(crate) draining: bool,
+    /// Scratch buffers reused across requests so steady-state planning
+    /// performs no allocation. Each user takes a buffer with
+    /// `mem::take`, fills it, and puts it back before returning; the
+    /// event machine is single-threaded, so two users never overlap.
+    scratch_slices: Vec<UnitSlice>,
+    scratch_ios: Vec<PlannedIo>,
+    scratch_stripes: Vec<u64>,
+    /// Per-disk extent accumulator reused by scrub batch planning.
+    scrub_extents: Vec<Vec<(u64, u64)>>,
+    /// Retired request shells whose vectors keep their capacity.
+    req_pool: Vec<ActiveReq>,
 }
 
 impl Controller {
@@ -470,7 +482,7 @@ impl Controller {
             scrub: None,
             next_batch_id: 0,
             blocked: Vec::new(),
-            writing: HashMap::new(),
+            writing: FxHashMap::default(),
             outstanding_writes: 0,
             metrics: MetricsBuilder::new(SimTime::ZERO),
             shadow,
@@ -485,7 +497,7 @@ impl Controller {
             rebuilt_at: None,
             reprotected_at: None,
             nvram_recovery: false,
-            flights: HashMap::new(),
+            flights: FxHashMap::default(),
             next_flight_id: 0,
             health,
             evicting: None,
@@ -495,6 +507,11 @@ impl Controller {
             tour_batch: None,
             tour_tick: None,
             draining: false,
+            scratch_slices: Vec::new(),
+            scratch_ios: Vec::new(),
+            scratch_stripes: Vec::new(),
+            scrub_extents: Vec::new(),
+            req_pool: Vec::new(),
             cfg,
         }
     }
@@ -646,6 +663,53 @@ impl Controller {
         }
     }
 
+    /// Pulls a request shell from the pool (or makes a fresh one) and
+    /// stamps it with the request header. The pooled vectors keep their
+    /// capacity across requests, so steady-state planning allocates
+    /// nothing.
+    fn take_shell(&mut self, rec: IoRecord, phase: Phase) -> ActiveReq {
+        let mut shell = self.req_pool.pop().unwrap_or_else(|| ActiveReq {
+            arrival: SimTime::ZERO,
+            kind: rec.kind,
+            offset: 0,
+            bytes: 0,
+            phase: Phase::Read,
+            pending: 0,
+            writes: Vec::new(),
+            shadow_writes: Vec::new(),
+            parity_fixes: Vec::new(),
+            stripes_held: Vec::new(),
+        });
+        debug_assert!(
+            shell.writes.is_empty()
+                && shell.shadow_writes.is_empty()
+                && shell.parity_fixes.is_empty()
+                && shell.stripes_held.is_empty(),
+            "pooled shell not cleared"
+        );
+        shell.arrival = rec.time;
+        shell.kind = rec.kind;
+        shell.offset = rec.offset;
+        shell.bytes = rec.bytes;
+        shell.phase = phase;
+        shell.pending = 0;
+        shell
+    }
+
+    /// Returns a finished request shell to the pool, clearing its plan
+    /// vectors but keeping their capacity.
+    fn retire_shell(&mut self, mut req: ActiveReq) {
+        req.writes.clear();
+        req.shadow_writes.clear();
+        req.parity_fixes.clear();
+        req.stripes_held.clear();
+        // Bound the pool by the admission limit: at most `disks`
+        // requests are ever active, plus the blocked queue.
+        if self.req_pool.len() < 2 * self.cfg.disks as usize {
+            self.req_pool.push(req);
+        }
+    }
+
     fn start_request(&mut self, rec: IoRecord) {
         match rec.kind {
             ReqKind::Read => self.start_read(rec),
@@ -654,18 +718,8 @@ impl Controller {
     }
 
     fn start_read(&mut self, rec: IoRecord) {
-        let slot = self.alloc_slot(ActiveReq {
-            arrival: rec.time,
-            kind: rec.kind,
-            offset: rec.offset,
-            bytes: rec.bytes,
-            phase: Phase::Read,
-            pending: 0,
-            writes: Vec::new(),
-            shadow_writes: Vec::new(),
-            parity_fixes: Vec::new(),
-            stripes_held: Vec::new(),
-        });
+        let shell = self.take_shell(rec, Phase::Read);
+        let slot = self.alloc_slot(shell);
         if self.read_cache.hit(rec.offset, rec.bytes) {
             self.metrics.record_cache_hit();
             self.req_mut(slot).pending = 1;
@@ -673,7 +727,9 @@ impl Controller {
                 .schedule(self.now + CACHE_HIT_LATENCY, Ev::ClientIo { req: slot });
             return;
         }
-        let slices = self.layout.map_range(rec.offset, rec.bytes);
+        let mut slices = std::mem::take(&mut self.scratch_slices);
+        self.layout
+            .map_range_into(rec.offset, rec.bytes, &mut slices);
 
         // Degraded mode: a slice on the dead disk either fails fast
         // (its unit is known-bad) or is served by reconstruction from
@@ -691,11 +747,12 @@ impl Controller {
                 self.req_mut(slot).pending = 1;
                 self.events
                     .schedule(self.now + FAILED_IO_LATENCY, Ev::ClientIo { req: slot });
+                self.scratch_slices = slices;
                 return;
             }
         }
 
-        let mut ios: Vec<PlannedIo> = Vec::new();
+        let mut ios = std::mem::take(&mut self.scratch_ios);
         for sl in &slices {
             if self.degraded_disk_for(sl.stripe) == Some(sl.disk) {
                 // Reconstruct read: same sector range from every other
@@ -721,35 +778,29 @@ impl Controller {
                 });
             }
         }
+        self.scratch_slices = slices;
         self.req_mut(slot).pending = ios.len() as u32;
-        for io in ios {
+        for io in ios.drain(..) {
             self.submit(io, Ev::ClientIo { req: slot });
         }
+        self.scratch_ios = ios;
     }
 
     fn start_write(&mut self, rec: IoRecord) {
         let directives = self.evaluate_policy();
-        let slices = self.layout.map_range(rec.offset, rec.bytes);
+        let mut slices = std::mem::take(&mut self.scratch_slices);
+        self.layout
+            .map_range_into(rec.offset, rec.bytes, &mut slices);
 
         // Block behind an in-flight parity rebuild (scrub or rebuild
         // batch) of any touched stripe.
-        {
-            if slices.iter().any(|s| self.stripe_locked(s.stripe)) {
-                let slot = self.alloc_slot(ActiveReq {
-                    arrival: rec.time,
-                    kind: rec.kind,
-                    offset: rec.offset,
-                    bytes: rec.bytes,
-                    phase: Phase::PreRead,
-                    pending: 0,
-                    writes: Vec::new(),
-                    shadow_writes: Vec::new(),
-                    parity_fixes: Vec::new(),
-                    stripes_held: Vec::new(),
-                });
-                self.blocked.push(slot);
-                return;
-            }
+        let locked = slices.iter().any(|s| self.stripe_locked(s.stripe));
+        self.scratch_slices = slices;
+        if locked {
+            let shell = self.take_shell(rec, Phase::PreRead);
+            let slot = self.alloc_slot(shell);
+            self.blocked.push(slot);
+            return;
         }
 
         self.issue_write(rec, directives.write_mode);
@@ -765,27 +816,32 @@ impl Controller {
         }
         self.burst_bytes_acc += rec.bytes as f64;
 
-        let slices = self.layout.map_range(rec.offset, rec.bytes);
+        let mut slices = std::mem::take(&mut self.scratch_slices);
+        self.layout
+            .map_range_into(rec.offset, rec.bytes, &mut slices);
         let unit_sectors = self.layout.unit_sectors();
         let unit_bytes = self.layout.unit_bytes();
 
-        // Group slices by stripe, preserving order.
-        let mut groups: Vec<(u64, Vec<crate::layout::UnitSlice>)> = Vec::new();
-        for s in slices {
-            match groups.last_mut() {
-                Some((stripe, v)) if *stripe == s.stripe => v.push(s),
-                _ => groups.push((s.stripe, vec![s])),
+        // The plan accumulates directly into a pooled request shell and
+        // a pooled pre-read buffer; stripe groups are contiguous index
+        // ranges of `slices` (map_range emits slices in logical order),
+        // so no per-group vectors are needed.
+        let mut shell = self.take_shell(rec, Phase::Write);
+        let mut prereads = std::mem::take(&mut self.scratch_ios);
+        let writes = &mut shell.writes;
+        let shadow_writes = &mut shell.shadow_writes;
+        let parity_fixes = &mut shell.parity_fixes;
+        let stripes_held = &mut shell.stripes_held;
+
+        let mut start = 0usize;
+        while start < slices.len() {
+            let stripe = slices[start].stripe;
+            let mut stop = start + 1;
+            while stop < slices.len() && slices[stop].stripe == stripe {
+                stop += 1;
             }
-        }
-
-        let mut prereads: Vec<PlannedIo> = Vec::new();
-        let mut writes: Vec<PlannedIo> = Vec::new();
-        let mut shadow_writes: Vec<(u64, u32, ShadowMode)> = Vec::new();
-        let mut parity_fixes: Vec<ParityFix> = Vec::new();
-        let mut stripes_held: Vec<u64> = Vec::new();
-
-        for (stripe, group) in &groups {
-            let stripe = *stripe;
+            let group = &slices[start..stop];
+            start = stop;
             stripes_held.push(stripe);
             *self.writing.entry(stripe).or_insert(0) += 1;
 
@@ -799,9 +855,9 @@ impl Controller {
                     group,
                     f,
                     &mut prereads,
-                    &mut writes,
-                    &mut shadow_writes,
-                    &mut parity_fixes,
+                    &mut *writes,
+                    &mut *shadow_writes,
+                    &mut *parity_fixes,
                 );
                 continue;
             }
@@ -963,30 +1019,23 @@ impl Controller {
             }
         }
 
-        let slot = self.alloc_slot(ActiveReq {
-            arrival: rec.time,
-            kind: rec.kind,
-            offset: rec.offset,
-            bytes: rec.bytes,
-            phase: if prereads.is_empty() {
-                Phase::Write
-            } else {
-                Phase::PreRead
-            },
-            pending: 0,
-            writes,
-            shadow_writes,
-            parity_fixes,
-            stripes_held,
-        });
+        shell.phase = if prereads.is_empty() {
+            Phase::Write
+        } else {
+            Phase::PreRead
+        };
+        self.scratch_slices = slices;
+        let slot = self.alloc_slot(shell);
 
         if prereads.is_empty() {
             self.issue_write_phase(slot);
+            self.scratch_ios = prereads;
         } else {
             self.req_mut(slot).pending = prereads.len() as u32;
-            for io in prereads {
+            for io in prereads.drain(..) {
                 self.submit(io, Ev::ClientIo { req: slot });
             }
+            self.scratch_ios = prereads;
         }
     }
 
@@ -1102,15 +1151,15 @@ impl Controller {
     fn issue_write_phase(&mut self, slot: u32) {
         let req = self.reqs[slot as usize].as_mut().expect("live request");
         req.phase = Phase::Write;
-        let writes = std::mem::take(&mut req.writes);
+        let mut writes = std::mem::take(&mut req.writes);
         req.pending = writes.len() as u32;
         let shadow_writes = std::mem::take(&mut req.shadow_writes);
 
         // Apply shadow content updates at write issue.
         self.version += 1;
         let version = self.version;
+        let mut rebuilt = std::mem::take(&mut self.scratch_stripes);
         if let Some(shadow) = &mut self.shadow {
-            let mut rebuilt: Vec<u64> = Vec::new();
             for (stripe, unit, mode) in &shadow_writes {
                 let word = version_word(*stripe, *unit, version);
                 let old = shadow.write_data(*stripe, *unit, word);
@@ -1126,14 +1175,21 @@ impl Controller {
                     }
                 }
             }
-            for stripe in rebuilt {
+            for stripe in rebuilt.drain(..) {
                 shadow.rebuild_parity(stripe);
             }
         }
+        self.scratch_stripes = rebuilt;
 
-        for io in writes {
+        for io in writes.drain(..) {
             self.submit(io, Ev::ClientIo { req: slot });
         }
+        // Hand the (now empty) plan buffers back to the request so the
+        // shell pool recycles their capacity. The slot is still live:
+        // completions only arrive via the event queue.
+        let req = self.reqs[slot as usize].as_mut().expect("live request");
+        req.writes = writes;
+        req.shadow_writes = shadow_writes;
     }
 
     fn on_client_io(&mut self, slot: u32) {
@@ -1183,6 +1239,7 @@ impl Controller {
 
         self.metrics
             .record_response(req.kind == ReqKind::Write, self.now.since(req.arrival));
+        self.retire_shell(req);
         self.idle.on_completion(self.now);
         self.admitted -= 1;
         self.try_dispatch();
@@ -1716,7 +1773,11 @@ impl Controller {
         let unit_sectors = self.layout.unit_sectors();
         let m = u64::from(self.cfg.mark_granularity.bits());
         let row_sectors = unit_sectors / m;
-        let mut per_disk: Vec<Vec<(u64, u64)>> = vec![Vec::new(); self.cfg.disks as usize];
+        let mut per_disk = std::mem::take(&mut self.scrub_extents);
+        per_disk.resize(self.cfg.disks as usize, Vec::new());
+        for extents in &mut per_disk {
+            extents.clear();
+        }
         for &s in &batch {
             let mask = self.marks.row_mask(s);
             debug_assert!(mask != 0);
@@ -1734,8 +1795,8 @@ impl Controller {
         }
 
         let mut pending = 0u32;
-        for (d, extents) in per_disk.into_iter().enumerate() {
-            for (lba, sectors) in extents {
+        for (d, extents) in per_disk.iter_mut().enumerate() {
+            for (lba, sectors) in extents.drain(..) {
                 self.submit(
                     PlannedIo {
                         disk: d as u32,
@@ -1749,6 +1810,7 @@ impl Controller {
                 pending += 1;
             }
         }
+        self.scrub_extents = per_disk;
         debug_assert!(pending > 0);
         self.scrub = Some(ScrubState {
             batch_id,
@@ -1775,15 +1837,15 @@ impl Controller {
     }
 
     fn scrub_write_phase(&mut self) {
-        let scrub = self.scrub.as_mut().expect("scrub in flight");
+        // Take the scrub state out so its stripe list can be walked
+        // without cloning it for every batch.
+        let mut scrub = self.scrub.take().expect("scrub in flight");
         scrub.phase = ScrubPhase::Write;
-        let stripes = scrub.stripes.clone();
         let batch_id = scrub.batch_id;
         let m = u64::from(self.cfg.mark_granularity.bits());
         let row_sectors = self.layout.unit_sectors() / m;
-        let mut pending = 0u32;
-        let mut ios = Vec::new();
-        for &s in &stripes {
+        let mut ios = std::mem::take(&mut self.scratch_ios);
+        for &s in &scrub.stripes {
             let mask = self.marks.row_mask(s);
             let first = mask.trailing_zeros() as u64;
             let last_row = 63 - mask.leading_zeros() as u64;
@@ -1794,12 +1856,13 @@ impl Controller {
                 op: OpKind::Write,
                 cause: IoCause::ScrubWrite,
             });
-            pending += 1;
         }
-        self.scrub.as_mut().expect("scrub in flight").pending = pending;
-        for io in ios {
+        scrub.pending = ios.len() as u32;
+        self.scrub = Some(scrub);
+        for io in ios.drain(..) {
             self.submit(io, Ev::ScrubIo { batch: batch_id });
         }
+        self.scratch_ios = ios;
     }
 
     fn finish_scrub_batch(&mut self) {
@@ -2116,6 +2179,7 @@ impl Controller {
             bytes: req.bytes,
             kind: req.kind,
         };
+        self.retire_shell(req);
         self.start_request(rec);
     }
 

@@ -93,9 +93,12 @@ pub fn run_trace(cfg: &ArrayConfig, trace: &Trace, opts: &RunOptions) -> RunResu
     }
 
     let mut loss: Option<DataLossReport> = None;
+    let mut events_processed: u64 = 0;
+    let mut queue_peak: usize = c.events.len();
     while let Some((t, ev)) = c.events.pop() {
         debug_assert!(t >= c.now, "time went backwards");
         c.now = t;
+        events_processed += 1;
         match ev {
             Ev::Arrive => {
                 let rec = trace.records[next_arrival];
@@ -158,9 +161,11 @@ pub fn run_trace(cfg: &ArrayConfig, trace: &Trace, opts: &RunOptions) -> RunResu
             }
             other => c.handle(other),
         }
+        queue_peak = queue_peak.max(c.events.len());
     }
 
     let end = c.now.max(trace.end_time());
+    c.metrics.set_event_stats(events_processed, queue_peak);
     RunResult {
         metrics: c.metrics.clone().finish(end),
         loss,

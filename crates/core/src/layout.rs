@@ -200,6 +200,20 @@ impl Layout {
     ///
     /// Panics if the range is empty, unaligned, or out of bounds.
     pub fn map_range(&self, offset: u64, bytes: u64) -> Vec<UnitSlice> {
+        let mut slices = Vec::new();
+        self.map_range_into(offset, bytes, &mut slices);
+        slices
+    }
+
+    /// Allocation-free variant of [`Layout::map_range`]: clears `out`
+    /// and fills it with the slices, reusing its capacity. The request
+    /// hot path calls this with a scratch buffer owned by the
+    /// controller so steady-state planning performs no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, unaligned, or out of bounds.
+    pub fn map_range_into(&self, offset: u64, bytes: u64, out: &mut Vec<UnitSlice>) {
         assert!(bytes > 0 && bytes.is_multiple_of(512), "bad length {bytes}");
         assert!(offset.is_multiple_of(512), "bad offset {offset}");
         assert!(
@@ -208,15 +222,15 @@ impl Layout {
             offset + bytes,
             self.logical_capacity()
         );
+        out.clear();
         let unit_bytes = self.unit_bytes();
-        let mut slices = Vec::new();
         let mut cur = offset;
         let end = offset + bytes;
         while cur < end {
             let addr = self.locate(cur);
             let within = cur % unit_bytes;
             let take = (unit_bytes - within).min(end - cur);
-            slices.push(UnitSlice {
+            out.push(UnitSlice {
                 stripe: addr.stripe,
                 unit: addr.unit,
                 disk: addr.disk,
@@ -226,7 +240,6 @@ impl Layout {
             });
             cur += take;
         }
-        slices
     }
 
     /// Iterator over the stripes touched by a byte range, with the set

@@ -150,6 +150,8 @@ pub struct MetricsBuilder {
     /// When the open eviction exposure window started, if one is open.
     evict_open: Option<SimTime>,
     evict_exposure_secs: f64,
+    events_processed: u64,
+    event_queue_peak: usize,
 }
 
 impl MetricsBuilder {
@@ -188,6 +190,8 @@ impl MetricsBuilder {
             evictions: 0,
             evict_open: None,
             evict_exposure_secs: 0.0,
+            events_processed: 0,
+            event_queue_peak: 0,
         }
     }
 
@@ -320,6 +324,13 @@ impl MetricsBuilder {
         }
     }
 
+    /// Records the event-loop totals measured by the driver: events
+    /// delivered and the deepest event queue seen.
+    pub fn set_event_stats(&mut self, processed: u64, queue_peak: usize) {
+        self.events_processed = processed;
+        self.event_queue_peak = queue_peak;
+    }
+
     /// Current parity lag (bytes).
     pub fn current_lag(&self) -> f64 {
         self.lag.current()
@@ -385,6 +396,16 @@ impl MetricsBuilder {
             retry_p99_ms: self.retry_histogram_ms.quantile(0.99),
             evictions: self.evictions,
             evict_exposure_secs,
+            events_processed: self.events_processed,
+            event_queue_peak: self.event_queue_peak,
+            events_per_sim_sec: {
+                let secs = end.since(self.start).as_secs_f64();
+                if secs > 0.0 {
+                    self.events_processed as f64 / secs
+                } else {
+                    0.0
+                }
+            },
         }
     }
 }
@@ -484,6 +505,15 @@ pub struct RunMetrics {
     /// Total time inside eviction exposure windows (evicted until the
     /// spare rebuild completed, or the run ended), seconds.
     pub evict_exposure_secs: f64,
+    /// Simulation events delivered by the driver loop.
+    pub events_processed: u64,
+    /// Deepest event queue observed during the run.
+    pub event_queue_peak: usize,
+    /// Events per *simulated* second. Deterministic, unlike wall-clock
+    /// event rates, so it is safe to include in serialized results that
+    /// bit-identity tests compare (perfbench reports the wall-clock
+    /// rate separately).
+    pub events_per_sim_sec: f64,
 }
 
 impl RunMetrics {

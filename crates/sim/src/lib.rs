@@ -29,6 +29,7 @@
 //! ```
 
 pub mod dist;
+pub mod hash;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -37,6 +38,7 @@ pub mod time;
 pub use dist::{
     Bernoulli, Empirical, Exponential, Hyperexponential, LogNormal, Pareto, Uniform, Zipf,
 };
+pub use hash::{FxBuildHasher, FxHashMap, U64Set};
 pub use queue::{EventId, EventQueue};
 pub use rng::SplitMix64;
 pub use stats::{geometric_mean, Histogram, OnlineStats, TimeWeighted};

@@ -3,6 +3,7 @@
 //! ```text
 //! afraid-cli run --workload snake --policy afraid --secs 600
 //! afraid-cli run --workload att --policy mttdl:1e8 --fail-disk 2@300 --degraded
+//! afraid-cli sweep --secs 120 --jobs 4
 //! afraid-cli workloads
 //! afraid-cli policies
 //! ```
@@ -20,8 +21,16 @@ afraid-cli — AFRAID array simulator (Savage & Wilkes, USENIX 1996)
 
 USAGE:
     afraid-cli run [OPTIONS]     replay a synthetic workload
+    afraid-cli sweep [OPTIONS]   run the full workload x policy matrix
     afraid-cli workloads         list workload presets
     afraid-cli policies          list parity policies
+
+SWEEP OPTIONS:
+    --secs <n>            simulated trace duration (default: 600)
+    --seed <n>            workload seed (default: 42)
+    --jobs <n>            worker threads; results are bit-identical for
+                          any job count (default: all cores)
+    --json                emit the matrix as JSON
 
 RUN OPTIONS:
     --workload <name>     workload preset (default: snake)
@@ -53,6 +62,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
+        Some("sweep") => sweep(&args[1..]),
         Some("workloads") => {
             for kind in WorkloadKind::all() {
                 let spec = WorkloadSpec::preset(kind);
@@ -102,6 +112,126 @@ fn parse_policy(s: &str) -> Option<ParityPolicy> {
             None
         }
     }
+}
+
+/// One cell of the sweep matrix, shaped for `--json` output.
+#[derive(serde::Serialize)]
+struct SweepRow {
+    workload: String,
+    policy: String,
+    mean_io_ms: f64,
+    p95_io_ms: f64,
+    frac_unprotected: f64,
+    mttdl_disk_hours: f64,
+    mttdl_overall_hours: f64,
+    events_processed: u64,
+}
+
+fn sweep(args: &[String]) -> ExitCode {
+    let mut secs = 600u64;
+    let mut seed = 42u64;
+    let mut jobs = afraid_exp::default_jobs();
+    let mut json = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> Option<String> {
+            let v = it.next().cloned();
+            if v.is_none() {
+                eprintln!("missing value for {what}");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--secs" => match value("--secs").and_then(|v| v.parse().ok()) {
+                Some(v) => secs = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--seed" => match value("--seed").and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--jobs" => match value("--jobs").and_then(|v| v.parse().ok()) {
+                Some(v) => jobs = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown option '{other}'");
+                eprint!("{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let policies = [
+        ("raid0", ParityPolicy::NeverRebuild),
+        ("afraid", ParityPolicy::IdleOnly),
+        ("raid5", ParityPolicy::AlwaysRaid5),
+    ];
+    let cfg = ArrayConfig::paper_default(ParityPolicy::IdleOnly);
+    let unit_sectors = cfg.stripe_unit_bytes / 512;
+    let stripes = cfg.disk_model.geometry.capacity_sectors() / unit_sectors;
+    let capacity = stripes * u64::from(cfg.n_data()) * cfg.stripe_unit_bytes * 9 / 10;
+
+    let kinds = WorkloadKind::all();
+    let duration = SimDuration::from_secs(secs);
+    let traces = afraid_exp::generate_traces(jobs, &kinds, capacity, duration, seed);
+    let rows = afraid_exp::run_matrix(jobs, &traces, &policies, |trace, (_, policy), _| {
+        let cfg = ArrayConfig::paper_default(*policy);
+        let result = run_trace(&cfg, trace, &RunOptions::default());
+        let avail = availability(&cfg, &result.metrics);
+        (result, avail)
+    });
+
+    let mut cells = Vec::new();
+    for (kind, row) in kinds.iter().zip(&rows) {
+        for ((name, _), (result, avail)) in policies.iter().zip(row) {
+            cells.push(SweepRow {
+                workload: kind.name().to_string(),
+                policy: name.to_string(),
+                mean_io_ms: result.metrics.mean_io_ms,
+                p95_io_ms: result.metrics.p95_io_ms,
+                frac_unprotected: result.metrics.frac_unprotected,
+                mttdl_disk_hours: avail.mttdl_disk,
+                mttdl_overall_hours: avail.mttdl_overall,
+                events_processed: result.metrics.events_processed,
+            });
+        }
+    }
+
+    if json {
+        match serde_json::to_string_pretty(&cells) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("serialisation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    println!("Sweep: {secs}s traces, seed {seed}, jobs {jobs}");
+    println!();
+    let header = format!(
+        "{:<11} {:<8} {:>12} {:>10} {:>9} {:>13} {:>14}",
+        "workload", "policy", "mean io ms", "p95 ms", "unprot%", "MTTDL disk h", "MTTDL all h"
+    );
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+    for c in &cells {
+        println!(
+            "{:<11} {:<8} {:>12.2} {:>10.2} {:>8.1}% {:>13.2e} {:>14.2e}",
+            c.workload,
+            c.policy,
+            c.mean_io_ms,
+            c.p95_io_ms,
+            c.frac_unprotected * 100.0,
+            c.mttdl_disk_hours,
+            c.mttdl_overall_hours,
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 fn run(args: &[String]) -> ExitCode {
