@@ -85,31 +85,33 @@ impl<T> Scheduler<T> {
         if self.queue.is_empty() {
             return None;
         }
+        // Every pick returns `Some` for a non-empty queue; the `?`
+        // keeps the selection typed instead of panicking on the
+        // (structurally impossible) miss.
         let idx = match self.policy {
             Policy::Fcfs => self.pick_fcfs(),
             Policy::Clook => self.pick_clook(),
             Policy::Sstf => self.pick_sstf(),
             Policy::Scan => self.pick_scan(),
-        };
+        }?;
         let (pos, _, item) = self.queue.swap_remove(idx);
         self.head_pos = pos;
         Some(item)
     }
 
-    /// Index of the oldest item.
-    fn pick_fcfs(&self) -> usize {
+    /// Index of the oldest item (`None` only on an empty queue).
+    fn pick_fcfs(&self) -> Option<usize> {
         self.queue
             .iter()
             .enumerate()
             .min_by_key(|(_, &(_, seq, _))| seq)
             .map(|(i, _)| i)
-            .expect("queue non-empty")
     }
 
     /// Index of the item with the smallest position `>= head_pos`,
     /// falling back to the globally smallest (the wrap). Ties broken by
     /// arrival order.
-    fn pick_clook(&self) -> usize {
+    fn pick_clook(&self) -> Option<usize> {
         let ahead = self
             .queue
             .iter()
@@ -117,29 +119,29 @@ impl<T> Scheduler<T> {
             .filter(|(_, &(pos, _, _))| pos >= self.head_pos)
             .min_by_key(|(_, &(pos, seq, _))| (pos, seq))
             .map(|(i, _)| i);
-        ahead.unwrap_or_else(|| {
+        ahead.or_else(|| {
             self.queue
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, &(pos, seq, _))| (pos, seq))
                 .map(|(i, _)| i)
-                .expect("queue non-empty")
         })
     }
 
     /// Index of the item nearest to `head_pos`. Ties broken by arrival
     /// order.
-    fn pick_sstf(&self) -> usize {
+    fn pick_sstf(&self) -> Option<usize> {
         self.queue
             .iter()
             .enumerate()
             .min_by_key(|(_, &(pos, seq, _))| (pos.abs_diff(self.head_pos), seq))
             .map(|(i, _)| i)
-            .expect("queue non-empty")
     }
 
     /// SCAN: continue the sweep; reverse when nothing remains ahead.
-    fn pick_scan(&mut self) -> usize {
+    /// The direction flip only happens with items still queued (`pop`
+    /// checked), so the sweep state never changes on an empty queue.
+    fn pick_scan(&mut self) -> Option<usize> {
         let pick_dir = |queue: &[(u64, u64, T)], head: u64, asc: bool| -> Option<usize> {
             queue
                 .iter()
@@ -149,10 +151,10 @@ impl<T> Scheduler<T> {
                 .map(|(i, _)| i)
         };
         if let Some(i) = pick_dir(&self.queue, self.head_pos, self.ascending) {
-            return i;
+            return Some(i);
         }
         self.ascending = !self.ascending;
-        pick_dir(&self.queue, self.head_pos, self.ascending).expect("queue non-empty")
+        pick_dir(&self.queue, self.head_pos, self.ascending)
     }
 }
 

@@ -6,11 +6,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// to a positive integer, otherwise the machine's available
 /// parallelism, otherwise 1.
 pub fn default_jobs() -> usize {
+    // lint:allow(d1) jobs only sizes the worker pool; results are byte-identical at any count (tests/parallel_determinism.rs)
     std::env::var("AFRAID_JOBS")
         .ok()
         .and_then(|s| s.parse::<usize>().ok())
         .filter(|&j| j > 0)
         .unwrap_or_else(|| {
+            // lint:allow(d1) same as above: machine parallelism picks a default pool size, never a result
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)

@@ -1,0 +1,373 @@
+//! A lightweight, panic-free Rust tokenizer.
+//!
+//! The linter needs just enough lexical structure to tell code from
+//! comments and strings, find identifiers, and match small token
+//! sequences (`.unwrap(`, `env :: var`, `#[cfg(test)]`). A full parse
+//! (`syn`) is deliberately out of scope: the build environment is
+//! vendored-stubs-only, and the rules below never need type
+//! information.
+//!
+//! Guarantees:
+//!
+//! * **Never panics**, on any byte sequence — enforced by a proptest
+//!   over arbitrary bytes. All input access goes through
+//!   bounds-checked `get`.
+//! * **Line numbers are exact** (1-based) for every token, including
+//!   multi-line strings and block comments.
+//! * Comments are preserved as tokens so `lint:allow` annotations can
+//!   be read from them.
+
+/// Token classes. The linter only distinguishes what its rules need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (also raw identifiers, `r#match`).
+    Ident,
+    /// `'lifetime`.
+    Lifetime,
+    /// Numeric literal (integer or the integer part of a float).
+    Number,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// `// …` (includes doc comments `///`, `//!`).
+    LineComment,
+    /// `/* … */`, nesting-aware (includes `/** … */`).
+    BlockComment,
+    /// Any other single byte (`.`, `:`, `[`, `#`, …).
+    Punct,
+}
+
+/// One token: kind, 1-based line of its first byte, and its bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok<'a> {
+    pub kind: TokKind,
+    pub line: u32,
+    pub text: &'a [u8],
+}
+
+impl Tok<'_> {
+    /// The token's single punctuation byte, if it is punctuation.
+    pub fn punct(&self) -> Option<u8> {
+        if self.kind == TokKind::Punct {
+            self.text.first().copied()
+        } else {
+            None
+        }
+    }
+
+    /// True for `Punct` tokens equal to `b`.
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.punct() == Some(b)
+    }
+
+    /// True for `Ident` tokens spelling `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name.as_bytes()
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos.saturating_add(ahead)).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line = self.line.saturating_add(1);
+        }
+        Some(b)
+    }
+
+    fn slice_from(&self, start: usize) -> &'a [u8] {
+        self.src.get(start..self.pos).unwrap_or(&[])
+    }
+}
+
+/// Identifier start: ASCII letter, `_`, or any non-ASCII byte (so
+/// multi-byte UTF-8 identifiers stay one token instead of being split
+/// into junk punctuation).
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    is_ident_start(b) || b.is_ascii_digit()
+}
+
+/// Tokenizes `src`. Total: every byte belongs to exactly one token or
+/// is inter-token whitespace; malformed input (unterminated strings,
+/// stray quotes) degrades to best-effort tokens, never an error.
+pub fn tokenize(src: &[u8]) -> Vec<Tok<'_>> {
+    let mut cur = Cursor {
+        src,
+        pos: 0,
+        line: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let start = cur.pos;
+        let line = cur.line;
+        let kind = match b {
+            b'/' if cur.peek(1) == Some(b'/') => {
+                while cur.peek(0).is_some_and(|c| c != b'\n') {
+                    cur.bump();
+                }
+                TokKind::LineComment
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                lex_block_comment(&mut cur);
+                TokKind::BlockComment
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                TokKind::Str
+            }
+            b'\'' => lex_char_or_lifetime(&mut cur),
+            _ if is_ident_start(b) => lex_ident_or_prefixed_literal(&mut cur),
+            _ if b.is_ascii_digit() => {
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                TokKind::Number
+            }
+            _ if b.is_ascii_whitespace() => {
+                cur.bump();
+                continue;
+            }
+            _ => {
+                cur.bump();
+                TokKind::Punct
+            }
+        };
+        toks.push(Tok {
+            kind,
+            line,
+            text: cur.slice_from(start),
+        });
+    }
+    toks
+}
+
+/// Consumes a (nesting) block comment body after the opening `/*`.
+fn lex_block_comment(cur: &mut Cursor<'_>) {
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                cur.bump();
+                cur.bump();
+                depth = depth.saturating_add(1);
+            }
+            (Some(b'*'), Some(b'/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break, // unterminated: comment runs to EOF
+        }
+    }
+}
+
+/// Consumes a plain (escaped) string literal starting at its `"`.
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            None | Some(b'"') => break,
+            Some(b'\\') => {
+                cur.bump(); // whatever follows is escaped
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Consumes a raw string literal starting at its hashes/quote (the
+/// `r`/`br`/`cr` prefix has already been consumed).
+fn lex_raw_string(cur: &mut Cursor<'_>) {
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        cur.bump();
+        hashes += 1;
+    }
+    if cur.peek(0) != Some(b'"') {
+        return; // not actually a raw string (e.g. `r#ident` handled earlier)
+    }
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            None => break, // unterminated
+            Some(b'"') => {
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek(0) == Some(b'#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Disambiguates `'a'` / `b'\n'`-style literals from `'lifetime` after
+/// seeing a `'`.
+fn lex_char_or_lifetime(cur: &mut Cursor<'_>) -> TokKind {
+    cur.bump(); // the quote
+    match cur.peek(0) {
+        // Escape: definitely a char literal ('\n', '\u{..}').
+        Some(b'\\') => {
+            cur.bump();
+            cur.bump(); // escaped byte
+            while cur.peek(0).is_some_and(|c| c != b'\'' && c != b'\n') {
+                cur.bump();
+            }
+            cur.bump(); // closing quote (or the newline/EOF)
+            TokKind::Char
+        }
+        // Identifier-ish: 'a' is a char, 'a without a closing quote is
+        // a lifetime.
+        Some(c) if is_ident_continue(c) => {
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            if cur.peek(0) == Some(b'\'') {
+                cur.bump();
+                TokKind::Char
+            } else {
+                TokKind::Lifetime
+            }
+        }
+        // Punctuation char literal like '+' (must close immediately).
+        Some(_) if cur.peek(1) == Some(b'\'') => {
+            cur.bump();
+            cur.bump();
+            TokKind::Char
+        }
+        // Stray quote: emit it as punctuation.
+        _ => TokKind::Punct,
+    }
+}
+
+/// Lexes an identifier, upgrading `r"…"`, `b"…"`, `br#"…"#`, `c"…"`,
+/// `b'…'` and `r#ident` prefixes to the literal they start.
+fn lex_ident_or_prefixed_literal(cur: &mut Cursor<'_>) -> TokKind {
+    let start = cur.pos;
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    let ident = cur.slice_from(start);
+    match (ident, cur.peek(0)) {
+        // Raw identifier r#match — keep consuming the identifier part.
+        (b"r", Some(b'#')) if cur.peek(1).is_some_and(is_ident_start) => {
+            cur.bump();
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            TokKind::Ident
+        }
+        (b"r" | b"br" | b"cr", Some(b'"' | b'#')) => {
+            lex_raw_string(cur);
+            TokKind::Str
+        }
+        (b"b" | b"c", Some(b'"')) => {
+            lex_string(cur);
+            TokKind::Str
+        }
+        (b"b", Some(b'\'')) => lex_char_or_lifetime(cur),
+        _ => TokKind::Ident,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        tokenize(src.as_bytes()).iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = tokenize(b"let x = a.unwrap();");
+        let texts: Vec<&[u8]> = toks.iter().map(|t| t.text).collect();
+        assert_eq!(
+            texts,
+            vec![
+                b"let" as &[u8],
+                b"x",
+                b"=",
+                b"a",
+                b".",
+                b"unwrap",
+                b"(",
+                b")",
+                b";"
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        use TokKind::*;
+        assert_eq!(
+            kinds("// Instant::now\nx \"HashMap\" /* thread_rng */ y"),
+            vec![LineComment, Ident, Str, BlockComment, Ident]
+        );
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        assert_eq!(
+            kinds("/* a /* b */ c */ x"),
+            vec![TokKind::BlockComment, TokKind::Ident]
+        );
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        assert_eq!(
+            kinds(r####"r#"contains " quote"# x"####),
+            vec![TokKind::Str, TokKind::Ident]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        use TokKind::*;
+        assert_eq!(
+            kinds("&'a str 'x' '\\n' b'q'"),
+            vec![Punct, Lifetime, Ident, Char, Char, Char]
+        );
+    }
+
+    #[test]
+    fn line_numbers_advance_in_multiline_tokens() {
+        let toks = tokenize(b"a\n/* x\ny */\nb");
+        assert_eq!(toks.len(), 3);
+        assert_eq!((toks[0].line, toks[1].line, toks[2].line), (1, 2, 4));
+    }
+
+    #[test]
+    fn unterminated_everything_is_fine() {
+        for src in ["\"abc", "/* abc", "r#\"abc", "'", "b'", "'a"] {
+            let _ = tokenize(src.as_bytes());
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! `afraid-lint` — the workspace determinism & invariant linter.
+//!
+//! Every headline number in this reproduction depends on a cell's
+//! outcome being a pure function of its coordinates (trace seed,
+//! duration, policy, config): the parallel engine promises byte-equal
+//! results at any `--jobs` count, and the MTTDL/MDLR comparisons are
+//! meaningless if reruns drift. This tool makes that contract
+//! machine-checked instead of convention-checked. Rules (all
+//! deny-by-default, annotated exceptions ratcheted by
+//! `lint-baseline.toml`):
+//!
+//! * **d1** — no wall-clock / OS-entropy / ambient-environment APIs
+//!   (`SystemTime`, `Instant`, `thread_rng`, `env::var`,
+//!   `available_parallelism`, …) in the deterministic crates;
+//!   `bench` is allowlisted for timing.
+//! * **d2** — no `std::collections::HashMap`/`HashSet` (RandomState
+//!   iteration order) in serialized or result-affecting modules; use
+//!   `BTreeMap`/`BTreeSet` or `afraid_sim::hash::{FxHashMap, U64Set}`.
+//! * **d3** — panic-freedom budget in the event-loop hot path
+//!   (`controller.rs`, `queue.rs`, `sched.rs`): `.unwrap()`,
+//!   `.expect()`, `panic!`-family macros and slice indexing are flagged
+//!   unless carried by an inline `// lint:allow(d3) <reason>`.
+//! * **d4** — no `Cargo.lock`-bypassing dependencies (git, registry
+//!   versions, paths escaping the repo), `[lints] workspace = true`
+//!   opt-in in every source crate, and no `cfg!(test)` runtime
+//!   branches in library code.
+//!
+//! See `DESIGN.md` §10 for the rationale behind each rule.
+
+pub mod baseline;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{lint_source, FileClass, Finding};
+
+use baseline::AllowCounts;
+
+/// The deterministic crate set: results must be a pure function of
+/// explicit inputs everywhere in here.
+const DETERMINISTIC_CRATES: &[&str] = &["avail", "core", "disk", "exp", "sim", "trace"];
+
+/// Crates scanned with D1 switched off (they time real execution).
+const D1_EXEMPT_CRATES: &[&str] = &["bench"];
+
+/// Event-loop hot-path files under the D3 panic budget.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/controller.rs",
+    "crates/disk/src/sched.rs",
+    "crates/sim/src/queue.rs",
+];
+
+/// The sanctioned deterministic-hasher wrapper module (defines the
+/// `FxHashMap`/`U64Set` aliases D2 points everyone at).
+const D2_EXEMPT_FILES: &[&str] = &["crates/sim/src/hash.rs"];
+
+/// Whole-workspace lint result.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Used `lint:allow` annotations per (rule, file).
+    pub allows: AllowCounts,
+    /// Files scanned (repo-relative), for reporting.
+    pub files_scanned: usize,
+}
+
+/// Classifies a repo-relative source path.
+fn classify(rel: &str) -> FileClass {
+    let crate_name = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("");
+    let deterministic = DETERMINISTIC_CRATES.contains(&crate_name)
+        || rel.starts_with("src/") // the root package: CLI + integration surface
+        || D1_EXEMPT_CRATES.contains(&crate_name); // bench: D2 still applies
+    FileClass {
+        deterministic,
+        d1_exempt: D1_EXEMPT_CRATES.contains(&crate_name),
+        d2_exempt: D2_EXEMPT_FILES.contains(&rel),
+        hot_path: HOT_PATH_FILES.contains(&rel),
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted so the scan
+/// order (and therefore the report) is deterministic on any OS.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Lints the whole workspace rooted at `root` (the directory holding
+/// the workspace `Cargo.toml`). Scans `src/` of the root package and
+/// of every crate under `crates/`, plus all their manifests. `tests/`,
+/// `benches/`, `examples/` and `vendor/` are out of scope: test code
+/// may time and hash freely.
+pub fn run_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+
+    // Source crates: crates/* (sorted) + the root package.
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(root.join("crates"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    crate_dirs.push(root.to_path_buf());
+
+    for dir in &crate_dirs {
+        let src_dir = dir.join("src");
+        if src_dir.is_dir() {
+            let mut files = Vec::new();
+            collect_rs(&src_dir, &mut files)?;
+            for path in files {
+                let rel = rel_of(root, &path);
+                let src = fs::read(&path)?;
+                let fr = rules::lint_source(&rel, &src, classify(&rel));
+                report.findings.extend(fr.findings);
+                report
+                    .findings
+                    .extend(rules::annotation_hygiene(&rel, &src));
+                for (rule, _line) in fr.allows_used {
+                    *report.allows.entry((rule, rel.clone())).or_insert(0) += 1;
+                }
+                report.files_scanned += 1;
+            }
+        }
+        let manifest_path = dir.join("Cargo.toml");
+        if manifest_path.is_file() {
+            let rel = rel_of(root, &manifest_path);
+            let src = fs::read_to_string(&manifest_path)?;
+            report
+                .findings
+                .extend(manifest::lint_manifest(&rel, &src, true));
+            report.files_scanned += 1;
+        }
+    }
+
+    report.findings.sort();
+    report.findings.dedup();
+    Ok(report)
+}
+
+/// Checks `report` against the committed baseline at `path`, appending
+/// any ratchet findings. A missing baseline file is itself a finding
+/// (the gate must never pass vacuously).
+pub fn apply_baseline(report: &mut Report, root: &Path, rel_path: &str) {
+    let path = root.join(rel_path);
+    let src = match fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            report.findings.push(Finding::new(
+                rel_path,
+                0,
+                "meta",
+                format!("cannot read baseline: {e} — generate it with --write-baseline"),
+            ));
+            return;
+        }
+    };
+    let (committed, mut errs) = baseline::parse(rel_path, &src);
+    report.findings.append(&mut errs);
+    report
+        .findings
+        .extend(baseline::diff(rel_path, &report.allows, &committed));
+    report.findings.sort();
+}
+
+/// Renders findings as JSON (machine-readable, stable order). Shape:
+/// `{"findings": [{"file", "line", "rule", "message"}], "files_scanned": N}`.
+pub fn to_json(report: &Report) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            esc(&f.file),
+            f.line,
+            esc(&f.rule),
+            esc(&f.message)
+        ));
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"files_scanned\": {},\n  \"allow_annotations\": {}\n}}\n",
+        report.files_scanned,
+        report.allows.values().map(|&v| u64::from(v)).sum::<u64>()
+    ));
+    out
+}

@@ -1,0 +1,103 @@
+//! CLI for the workspace determinism linter.
+//!
+//! Usage (from the workspace root):
+//!
+//! ```text
+//! afraid-lint [--root DIR] [--deny] [--baseline FILE] [--write-baseline] [--json]
+//! ```
+//!
+//! * `--deny` — exit 1 on any finding (CI mode). Without it the tool
+//!   reports and exits 0 so it can be used exploratorily.
+//! * `--baseline FILE` — ratchet the `lint:allow` counts against the
+//!   committed baseline: growth *and* silent shrink both fail.
+//! * `--write-baseline` — regenerate the baseline file from the tree
+//!   (requires `--baseline`); use after reviewing a new exception or
+//!   removing an old one.
+//! * `--json` — machine-readable findings with file:line spans.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: afraid-lint [--root DIR] [--deny] [--baseline FILE] [--write-baseline] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny = false;
+    let mut json = false;
+    let mut baseline: Option<String> = None;
+    let mut write_baseline = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => usage(),
+            },
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--baseline" => match args.next() {
+                Some(file) => baseline = Some(file),
+                None => usage(),
+            },
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("afraid-lint: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    if write_baseline && baseline.is_none() {
+        eprintln!("afraid-lint: --write-baseline requires --baseline FILE");
+        usage();
+    }
+
+    let mut report = match afraid_lint::run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "afraid-lint: cannot scan workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(rel) = &baseline {
+        if write_baseline {
+            let rendered = afraid_lint::baseline::render(&report.allows);
+            if let Err(e) = std::fs::write(root.join(rel), rendered) {
+                eprintln!("afraid-lint: cannot write baseline {rel}: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!("afraid-lint: wrote {rel} ({} entries)", report.allows.len());
+        }
+        afraid_lint::apply_baseline(&mut report, &root, rel);
+    }
+
+    if json {
+        print!("{}", afraid_lint::to_json(&report));
+    } else {
+        for f in &report.findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        eprintln!(
+            "afraid-lint: {} finding(s) across {} file(s), {} allow annotation(s) in use",
+            report.findings.len(),
+            report.files_scanned,
+            report.allows.values().map(|&v| u64::from(v)).sum::<u64>()
+        );
+    }
+
+    if deny && !report.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,185 @@
+//! D4 (manifest half): `Cargo.lock`-bypassing dependencies and lint
+//! opt-in hygiene in workspace manifests.
+//!
+//! The build environment has no registry access: every external
+//! dependency is a vendored stub under `vendor/`, reached through
+//! `[workspace.dependencies]` path entries. A `git` dependency, a
+//! registry-version dependency, or a `path` that escapes the
+//! repository would bypass both the vendoring scheme and the committed
+//! `Cargo.lock` — silently on a machine that *does* have network.
+//!
+//! The check is a line-oriented TOML subset parser (std-only, like the
+//! rest of the linter): section headers, `key = value` lines, inline
+//! tables. That covers every manifest in this workspace; exotic TOML
+//! (multi-line inline tables) would need the real thing.
+
+use crate::rules::Finding;
+
+/// True for section names that declare dependencies.
+fn is_dep_section(name: &str) -> bool {
+    name == "dependencies"
+        || name == "dev-dependencies"
+        || name == "build-dependencies"
+        || name == "workspace.dependencies"
+        || (name.starts_with("target.") && name.ends_with("dependencies"))
+}
+
+/// Extracts the first quoted string after `key =` in `line`, if any.
+fn quoted_value_of(line: &str, key: &str) -> Option<String> {
+    let at = line.find(key)?;
+    let rest = &line[at + key.len()..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Resolves `rel` against `base_dir` purely textually and returns
+/// false if the result escapes the repository root (`..` past the
+/// top) or is absolute.
+fn stays_inside_repo(base_dir: &str, rel: &str) -> bool {
+    if rel.starts_with('/') || rel.contains(":\\") {
+        return false;
+    }
+    // Depth of the manifest's directory below the repo root.
+    let mut depth: i64 = base_dir
+        .split('/')
+        .filter(|c| !c.is_empty() && *c != ".")
+        .count() as i64;
+    for comp in rel.split('/') {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => depth += 1,
+        }
+    }
+    true
+}
+
+/// Lints one `Cargo.toml`. `file` is the repo-relative manifest path
+/// (e.g. `crates/core/Cargo.toml`); `require_lints_optin` enforces the
+/// `[lints] workspace = true` table so `[workspace.lints]` actually
+/// reaches the crate.
+pub fn lint_manifest(file: &str, src: &str, require_lints_optin: bool) -> Vec<Finding> {
+    let base_dir = file.rsplit_once('/').map(|(d, _)| d).unwrap_or("");
+    let mut out = Vec::new();
+    let mut section = String::new();
+    let mut lints_optin = false;
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = (idx + 1) as u32;
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        if section == "lints" && line.replace(' ', "") == "workspace=true" {
+            lints_optin = true;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        // A dependency line: `name = ...` or `name.workspace = true`.
+        if line.contains("git") && quoted_value_of(line, "git").is_some() {
+            out.push(Finding::new(
+                file,
+                lineno,
+                "d4",
+                "git dependency bypasses the vendored registry and Cargo.lock pinning".to_string(),
+            ));
+            continue;
+        }
+        if let Some(path) = quoted_value_of(line, "path") {
+            if !stays_inside_repo(base_dir, &path) {
+                out.push(Finding::new(
+                    file,
+                    lineno,
+                    "d4",
+                    format!("path dependency {path:?} escapes the repository: unlocked code would enter the build"),
+                ));
+            }
+            continue;
+        }
+        if line.contains("workspace") {
+            continue; // `foo.workspace = true` / `{ workspace = true }`
+        }
+        // Bare registry dependency: `serde = "1"` or
+        // `foo = { version = "1" }`. Anything left in a dependency
+        // section that quotes a value without a path is one.
+        if line.contains('"') || line.contains("version") {
+            out.push(Finding::new(
+                file,
+                lineno,
+                "d4",
+                "registry dependency cannot resolve offline — route it through [workspace.dependencies] and a vendored path".to_string(),
+            ));
+        }
+    }
+    if require_lints_optin && !lints_optin {
+        out.push(Finding::new(
+            file,
+            1,
+            "d4",
+            "missing `[lints] workspace = true`: the crate opts out of the workspace lint table"
+                .to_string(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OK: &str = "[package]\nname = \"x\"\n\n[lints]\nworkspace = true\n\n[dependencies]\nafraid-sim.workspace = true\nserde = { workspace = true }\n";
+
+    #[test]
+    fn clean_manifest_passes() {
+        assert!(lint_manifest("crates/x/Cargo.toml", OK, true).is_empty());
+    }
+
+    #[test]
+    fn git_dep_flagged() {
+        let m = "[dependencies]\nfoo = { git = \"https://example.com/foo\" }\n";
+        let f = lint_manifest("crates/x/Cargo.toml", m, false);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("git"));
+    }
+
+    #[test]
+    fn escaping_path_flagged() {
+        let m = "[dependencies]\nfoo = { path = \"../../../elsewhere\" }\n";
+        let f = lint_manifest("crates/x/Cargo.toml", m, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("escapes"));
+    }
+
+    #[test]
+    fn inside_path_ok() {
+        let m = "[dependencies]\nfoo = { path = \"../sim\" }\n";
+        assert!(lint_manifest("crates/x/Cargo.toml", m, false).is_empty());
+    }
+
+    #[test]
+    fn registry_version_flagged() {
+        let m = "[dependencies]\nserde = \"1.0\"\n";
+        let f = lint_manifest("crates/x/Cargo.toml", m, false);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("offline"));
+    }
+
+    #[test]
+    fn missing_lints_optin_flagged() {
+        let f = lint_manifest("crates/x/Cargo.toml", "[package]\nname = \"x\"\n", true);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("[lints]"));
+    }
+}

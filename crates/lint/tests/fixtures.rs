@@ -1,0 +1,187 @@
+//! Fixture-driven rule tests. Each fixture file marks every line that
+//! must fire with a trailing `// POSITIVE: ...` comment; the test
+//! asserts the linter's findings land on exactly those lines — no
+//! misses, no false positives — and that the fixture's annotated-allow
+//! examples are counted as used.
+
+use afraid_lint::{lint_source, FileClass};
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => panic!("cannot read fixture {path}: {e}"),
+    }
+}
+
+/// Lines (1-based) carrying a POSITIVE marker.
+fn positive_lines(src: &[u8]) -> Vec<u32> {
+    String::from_utf8_lossy(src)
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("POSITIVE:"))
+        .map(|(i, _)| (i + 1) as u32)
+        .collect()
+}
+
+fn check_fixture(name: &str, rule: &str, class: FileClass, expect_allows: usize) {
+    let src = fixture(name);
+    let expected = positive_lines(&src);
+    assert!(
+        !expected.is_empty(),
+        "{name}: fixture must contain at least one POSITIVE marker"
+    );
+    let report = lint_source(name, &src, class);
+
+    let meta: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "meta")
+        .collect();
+    assert!(
+        meta.is_empty(),
+        "{name}: unexpected meta findings: {meta:?}"
+    );
+
+    let mut got: Vec<u32> = report
+        .findings
+        .iter()
+        .inspect(|f| assert_eq!(f.rule, rule, "{name}: off-rule finding {f:?}"))
+        .map(|f| f.line)
+        .collect();
+    got.sort_unstable();
+    got.dedup();
+    assert_eq!(
+        got, expected,
+        "{name}: findings (left) must land exactly on the POSITIVE lines (right)"
+    );
+
+    assert_eq!(
+        report.allows_used.len(),
+        expect_allows,
+        "{name}: annotated-allow examples must be counted as used: {:?}",
+        report.allows_used
+    );
+    for (r, _) in &report.allows_used {
+        assert_eq!(r, rule, "{name}: allow counted under the wrong rule");
+    }
+}
+
+fn det() -> FileClass {
+    FileClass {
+        deterministic: true,
+        d1_exempt: false,
+        d2_exempt: false,
+        hot_path: false,
+    }
+}
+
+#[test]
+fn d1_fires_on_clock_entropy_and_env() {
+    check_fixture("d1_violations.rs", "d1", det(), 1);
+}
+
+#[test]
+fn d2_fires_on_randomstate_collections() {
+    check_fixture("d2_violations.rs", "d2", det(), 1);
+}
+
+#[test]
+fn d3_fires_on_panic_risks_in_hot_path() {
+    let class = FileClass {
+        hot_path: true,
+        ..FileClass::default()
+    };
+    check_fixture("d3_violations.rs", "d3", class, 1);
+}
+
+#[test]
+fn d4_fires_on_cfg_test_runtime_branches() {
+    check_fixture("d4_violations.rs", "d4", det(), 1);
+}
+
+/// The exemption bits really do switch rules off: the D1 fixture is
+/// clean for an allowlisted (bench) file, the D2 fixture for the hash
+/// wrapper, the D3 fixture off the hot path.
+#[test]
+fn exemptions_silence_the_rules() {
+    let d1 = lint_source(
+        "d1_violations.rs",
+        &fixture("d1_violations.rs"),
+        FileClass {
+            deterministic: true,
+            d1_exempt: true,
+            d2_exempt: false,
+            hot_path: false,
+        },
+    );
+    assert!(
+        d1.findings.iter().all(|f| f.rule != "d1"),
+        "d1_exempt must silence d1: {:?}",
+        d1.findings
+    );
+
+    let d2 = lint_source(
+        "d2_violations.rs",
+        &fixture("d2_violations.rs"),
+        FileClass {
+            deterministic: true,
+            d1_exempt: false,
+            d2_exempt: true,
+            hot_path: false,
+        },
+    );
+    assert!(
+        d2.findings.iter().all(|f| f.rule != "d2"),
+        "d2_exempt must silence d2: {:?}",
+        d2.findings
+    );
+
+    let d3 = lint_source(
+        "d3_violations.rs",
+        &fixture("d3_violations.rs"),
+        FileClass::default(),
+    );
+    assert!(
+        d3.findings.iter().all(|f| f.rule != "d3"),
+        "off the hot path d3 must not fire: {:?}",
+        d3.findings
+    );
+}
+
+/// A stale allow (suppressing nothing) is itself a finding, and an
+/// unknown rule name is caught by annotation hygiene.
+#[test]
+fn annotation_hygiene_catches_stale_and_unknown() {
+    let src = b"// lint:allow(d3) nothing here needs it\nfn f() {}\n";
+    let report = lint_source(
+        "stale.rs",
+        src,
+        FileClass {
+            hot_path: true,
+            ..FileClass::default()
+        },
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "meta" && f.message.contains("unused")),
+        "stale allow must be flagged: {:?}",
+        report.findings
+    );
+
+    let bad = b"// lint:allow(d9) no such rule\nfn f() {}\n";
+    let hygiene = afraid_lint::rules::annotation_hygiene("bad.rs", bad);
+    assert!(
+        hygiene.iter().any(|f| f.message.contains("unknown rule")),
+        "unknown rule must be flagged: {hygiene:?}"
+    );
+
+    let bare = b"// lint:allow(d3)\nfn f() {}\n";
+    let hygiene = afraid_lint::rules::annotation_hygiene("bare.rs", bare);
+    assert!(
+        hygiene.iter().any(|f| f.message.contains("no reason")),
+        "reasonless allow must be flagged: {hygiene:?}"
+    );
+}

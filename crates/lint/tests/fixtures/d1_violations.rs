@@ -1,0 +1,29 @@
+// D1 fixture: wall-clock, OS entropy and ambient environment in a
+// deterministic module. Each POSITIVE line must produce a d1 finding;
+// NEGATIVE lines must not. This file is test data — it is never
+// compiled into the linter.
+
+fn positives() {
+    let _t = std::time::SystemTime::now(); // POSITIVE: SystemTime
+    let _i = std::time::Instant::now(); // POSITIVE: Instant
+    let _r = rand::thread_rng(); // POSITIVE: thread_rng
+    let _s = std::collections::hash_map::RandomState::new(); // POSITIVE: RandomState
+    let _n = std::thread::available_parallelism(); // POSITIVE: available_parallelism
+    let _e = std::env::var("SEED"); // POSITIVE: env::var
+    let _v = std::env::vars(); // POSITIVE: env::vars
+}
+
+fn negatives() {
+    // NEGATIVE: explicit program input is not ambient state.
+    let _args: Vec<String> = std::env::args().collect();
+    // NEGATIVE: "Instant" in a string literal, not code.
+    let _s = "Instant::now is banned";
+    // NEGATIVE: an identifier merely *containing* a banned name.
+    let instant_like = 1u64;
+    let _ = instant_like;
+}
+
+fn annotated() {
+    // lint:allow(d1) fixture: timing a diagnostic that never feeds a result
+    let _t = std::time::Instant::now(); // NEGATIVE: carried by the allow above
+}

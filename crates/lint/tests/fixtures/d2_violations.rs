@@ -1,0 +1,31 @@
+// D2 fixture: RandomState-hashed collections in result-affecting code.
+
+use std::collections::HashMap; // POSITIVE: HashMap import
+use std::collections::BTreeMap; // NEGATIVE: deterministic order
+
+struct State {
+    by_id: HashMap<u64, u32>, // POSITIVE: HashMap field
+    ordered: BTreeMap<u64, u32>, // NEGATIVE
+}
+
+fn build() {
+    let _s: std::collections::HashSet<u64> = Default::default(); // POSITIVE: HashSet
+    // NEGATIVE: mentioning HashMap in a comment is fine.
+    let _fine = "HashMap in a string is fine too";
+}
+
+fn annotated() {
+    // lint:allow(d2) fixture: scratch map, drained before any serialization
+    let _m: std::collections::HashMap<u64, u64> = Default::default(); // NEGATIVE: allowed above
+}
+
+#[cfg(test)]
+mod tests {
+    // NEGATIVE: test code may hash freely.
+    use std::collections::HashMap;
+
+    #[test]
+    fn t() {
+        let _m: HashMap<u32, u32> = HashMap::new();
+    }
+}

@@ -1,0 +1,37 @@
+// D3 fixture: panic risks in the event-loop hot path.
+
+fn positives(v: Vec<u32>, o: Option<u32>, r: Result<u32, ()>) {
+    let _a = o.unwrap(); // POSITIVE: unwrap
+    let _b = r.expect("present"); // POSITIVE: expect
+    let _c = v[0]; // POSITIVE: slice indexing
+    let _d = v[1..3].len(); // POSITIVE: range indexing
+    if v.is_empty() {
+        panic!("boom"); // POSITIVE: panic!
+    }
+    todo!() // POSITIVE: todo!
+}
+
+fn negatives(v: Vec<u32>, o: Option<u32>) -> Option<u32> {
+    let _a = v.first()?; // NEGATIVE: checked access
+    let _b = o.unwrap_or(7); // NEGATIVE: unwrap_or is total
+    let _c = o.unwrap_or_else(|| 9); // NEGATIVE: total
+    // NEGATIVE: invariant statements are sanctioned, not flagged.
+    debug_assert!(!v.is_empty());
+    assert!(v.len() < 10);
+    match o {
+        Some(x) => Some(x),
+        None => unreachable!("caller checked"), // NEGATIVE: unreachable!
+    }
+}
+
+fn attributes_are_not_indexing() {
+    // NEGATIVE: `#[derive(...)]` and `vec![...]` are not slice indexing.
+    #[allow(dead_code)]
+    let _v = vec![1, 2, 3];
+}
+
+fn annotated(v: Vec<u32>) {
+    // lint:allow(d3) fixture: index bounded by the loop above
+    let _x = v[0]; // NEGATIVE: carried by the allow
+    let _y = v.get(1); // NEGATIVE
+}

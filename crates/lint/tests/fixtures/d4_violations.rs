@@ -1,0 +1,36 @@
+// D4 fixture (source half): `cfg!(test)`-style nondeterminism leaks in
+// library code — a runtime branch on the test harness makes library
+// behaviour differ between `cargo test` and production.
+
+fn positives() {
+    if cfg!(test) { // POSITIVE: runtime cfg!(test) branch in library code
+        let _ = 1;
+    }
+    if cfg!(not(test)) { // POSITIVE: the negation is the same leak
+        let _ = 2;
+    }
+}
+
+// NEGATIVE: item-level cfg is compile-time selection, not a runtime
+// branch; the test item is masked wholesale.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fine() {
+        if cfg!(test) {
+            // NEGATIVE: inside a test-only item
+        }
+    }
+}
+
+fn negatives() {
+    // NEGATIVE: cfg! on non-test predicates is fine.
+    if cfg!(target_os = "linux") {}
+    // NEGATIVE: the word test in a string.
+    let _s = "cfg!(test)";
+}
+
+fn annotated() {
+    // lint:allow(d4) fixture: build-mode probe, logged only, never feeds a result
+    if cfg!(test) {} // NEGATIVE: carried by the allow above
+}

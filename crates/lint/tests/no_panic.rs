@@ -1,0 +1,81 @@
+//! The linter runs inside the CI gate over every source file in the
+//! workspace, so it must be total: arbitrary (even non-UTF-8, even
+//! unterminated-string) input may slow it down but never panic it.
+
+use afraid_lint::rules::{annotation_hygiene, lint_source};
+use afraid_lint::{lexer::tokenize, FileClass};
+use proptest::prelude::*;
+
+fn all_classes() -> [FileClass; 4] {
+    [
+        FileClass::default(),
+        FileClass {
+            deterministic: true,
+            d1_exempt: false,
+            d2_exempt: false,
+            hot_path: false,
+        },
+        FileClass {
+            deterministic: true,
+            d1_exempt: true,
+            d2_exempt: true,
+            hot_path: false,
+        },
+        FileClass {
+            deterministic: true,
+            d1_exempt: false,
+            d2_exempt: false,
+            hot_path: true,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tokenizer_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let toks = tokenize(&bytes);
+        // Line numbers are 1-based and monotone.
+        let mut prev = 1u32;
+        for t in &toks {
+            prop_assert!(t.line >= prev, "line numbers must be monotone");
+            prev = t.line;
+        }
+    }
+
+    #[test]
+    fn lint_pipeline_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        for class in all_classes() {
+            let report = lint_source("fuzz.rs", &bytes, class);
+            for f in &report.findings {
+                prop_assert!(f.line >= 1, "findings are 1-based");
+            }
+        }
+        let _ = annotation_hygiene("fuzz.rs", &bytes);
+    }
+
+    // Bias the byte soup toward tokens the lexer special-cases:
+    // comment openers, quotes, raw-string hashes, escapes.
+    #[test]
+    fn tokenizer_is_total_on_adversarial_syntax(
+        picks in prop::collection::vec(0usize..24, 0..64)
+    ) {
+        const PIECES: [&str; 24] = [
+            "/*", "*/", "//", "\"", "'", "r#\"", "r##", "#\"", "\\",
+            "b\"", "c\"", "b'", "'a", "ident", "0x1f", "!", "[", "]",
+            "cfg", "test", "(", ")", "lint:allow(d3)", "\n",
+        ];
+        let src: String = picks
+            .iter()
+            .filter_map(|&i| PIECES.get(i).copied())
+            .collect();
+        let _ = tokenize(src.as_bytes());
+        let _ = lint_source("adv.rs", src.as_bytes(), FileClass {
+            deterministic: true,
+            d1_exempt: false,
+            d2_exempt: false,
+            hot_path: true,
+        });
+    }
+}

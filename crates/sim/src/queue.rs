@@ -100,6 +100,19 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Asserts the pending-set/heap consistency invariant (debug builds
+    /// only): every pending id has a heap entry, so the tombstone count
+    /// `heap.len() - pending.len()` is never negative. Checked at every
+    /// mutation; a violation would mean a live event can never fire.
+    fn check_invariant(&self) {
+        debug_assert!(
+            self.pending.len() <= self.heap.len(),
+            "event queue invariant broken: {} pending ids but only {} heap entries",
+            self.pending.len(),
+            self.heap.len()
+        );
+    }
+
     /// Schedules `event` to fire at `time` and returns a handle that can
     /// cancel it. Events at equal times fire in scheduling order.
     pub fn schedule(&mut self, time: SimTime, event: E) -> EventId {
@@ -107,6 +120,7 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.heap.push(Reverse(Entry { time, seq, event }));
         self.pending.insert(seq);
+        self.check_invariant();
         EventId(seq)
     }
 
@@ -126,11 +140,13 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(Reverse(entry)) = self.heap.pop() {
             if self.pending.remove(&entry.seq) {
+                self.check_invariant();
                 return Some((entry.time, entry.event));
             }
             // Tombstone: cancelled earlier, swept now, exactly once.
             self.scan_ops += 1;
         }
+        self.check_invariant();
         None
     }
 
@@ -172,6 +188,7 @@ impl<E> EventQueue<E> {
             self.heap.pop();
             self.scan_ops += 1;
         }
+        self.check_invariant();
     }
 }
 

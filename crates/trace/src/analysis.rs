@@ -7,10 +7,10 @@
 //! paper's stated lessons; [`TraceProfile::idle_fraction`] is how this
 //! reproduction checks its synthetic traces honour that.
 
+use afraid_sim::hash::U64Set;
 use afraid_sim::stats::OnlineStats;
 use afraid_sim::time::SimDuration;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 use crate::record::{ReqKind, Trace};
 
@@ -60,7 +60,7 @@ impl TraceProfile {
         let mut reads = 0u64;
         let mut writes = 0u64;
         let mut bytes = OnlineStats::new();
-        let mut regions: HashSet<u64> = HashSet::new();
+        let mut regions = U64Set::default();
         for r in &trace.records {
             match r.kind {
                 ReqKind::Read => reads += 1,
