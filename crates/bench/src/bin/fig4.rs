@@ -30,7 +30,17 @@ fn main() {
 
     let kinds = WorkloadKind::all();
     let traces = harness::traces_for(&kinds, args.duration, args.jobs);
-    let rows = harness::run_cells(args.jobs, &traces, &sweep);
+    let cache = harness::cell_cache(&args);
+    let rows = harness::run_cells_cached(
+        args.jobs,
+        &kinds,
+        &traces,
+        harness::TRACE_CAPACITY,
+        args.duration,
+        harness::seed(),
+        &sweep,
+        cache.as_ref(),
+    );
     for (kind, cells) in kinds.iter().zip(&rows) {
         let mut row = format!("{:<11}", kind.name());
         for cell in cells {
@@ -42,4 +52,5 @@ fn main() {
     println!("Reading guide: columns run from RAID 5 (left) through MTTDL_x targets to");
     println!("pure AFRAID and RAID 0 (right). Bursty traces are nearly flat once any");
     println!("deferral is allowed; busy traces decline smoothly across the whole range.");
+    harness::print_cache_stats(cache.as_ref());
 }

@@ -6,16 +6,19 @@
 //! depth for each, plus the sequential-vs-parallel speedup and a
 //! bit-identity check over the serialized [`RunResult`]s.
 //!
-//! Usage: `perfbench [duration_secs] [--jobs N]`
+//! Usage: `perfbench [duration_secs] [--jobs N] [--cache|--no-cache]`
 //!
 //! `duration_secs` scales the simulated traces (default 60 s — shorter
 //! than the paper tables so CI can afford it); `--jobs N` replaces the
-//! core-count run with an explicit worker count. Writes
-//! `BENCH_parallel_sweep.json` at the repository root.
+//! core-count run with an explicit worker count. `--cache` replays
+//! memoised cells — results stay bit-identical, but the timings then
+//! measure cache replay rather than the engine, and the report says
+//! so. Writes `BENCH_parallel_sweep.json` at the repository root.
 
 use std::time::Instant;
 
 use afraid_bench::harness;
+use afraid_exp::CellCache;
 use afraid_trace::workloads::WorkloadKind;
 use serde::Serialize;
 
@@ -47,6 +50,14 @@ struct Report {
     speedup: f64,
     bit_identical: bool,
     available_parallelism: usize,
+    /// True when the parallel leg ran more workers than the machine
+    /// has cores: the speedup then measures scheduler contention, not
+    /// the engine. Single-core machines are reported separately via
+    /// `available_parallelism` and the note.
+    oversubscribed: bool,
+    /// True when cells were replayed from the cross-run cache; wall
+    /// times then measure cache replay, not simulation.
+    cache_enabled: bool,
     note: String,
 }
 
@@ -56,6 +67,7 @@ fn run_at(
     jobs: usize,
     kinds: &[WorkloadKind],
     duration: afraid_sim::time::SimDuration,
+    cache: Option<&CellCache>,
 ) -> (JobsRun, String) {
     let policies = harness::headline_designs();
     let t0 = Instant::now();
@@ -63,7 +75,16 @@ fn run_at(
     let gen_secs = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let rows = harness::run_cells(jobs, &traces, &policies);
+    let rows = harness::run_cells_cached(
+        jobs,
+        kinds,
+        &traces,
+        harness::TRACE_CAPACITY,
+        duration,
+        harness::seed(),
+        &policies,
+        cache,
+    );
     let matrix_secs = t1.elapsed().as_secs_f64();
     let wall = t0.elapsed().as_secs_f64();
 
@@ -96,6 +117,18 @@ fn run_at(
 
 fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut cache_enabled = false;
+    raw.retain(|a| match a.as_str() {
+        "--cache" => {
+            cache_enabled = true;
+            false
+        }
+        "--no-cache" => {
+            cache_enabled = false;
+            false
+        }
+        _ => true,
+    });
     if raw.is_empty() || raw[0].starts_with("--") {
         raw.insert(0, DEFAULT_SECS.to_string());
     }
@@ -131,6 +164,22 @@ fn main() {
         harness::seed()
     );
     println!("available parallelism: {nproc}; parallel leg uses jobs={par_jobs}");
+    let oversubscribed = par_jobs > nproc;
+    if oversubscribed {
+        println!(
+            "WARNING: jobs={par_jobs} exceeds available_parallelism={nproc} — the \
+             parallel leg is oversubscribed and its speedup is not evidence about \
+             the engine"
+        );
+    }
+    let cache =
+        cache_enabled.then(|| CellCache::new(CellCache::default_dir(), harness::RESULT_SCHEMA));
+    if cache.is_some() {
+        println!(
+            "NOTE: --cache replays memoised cells; wall times measure cache replay, \
+             not simulation"
+        );
+    }
     println!();
 
     let header = format!(
@@ -140,9 +189,9 @@ fn main() {
     println!("{header}");
     harness::rule(header.len());
 
-    let (seq, seq_blob) = run_at(1, &kinds, duration);
+    let (seq, seq_blob) = run_at(1, &kinds, duration, cache.as_ref());
     print_run(&seq);
-    let (par, par_blob) = run_at(par_jobs, &kinds, duration);
+    let (par, par_blob) = run_at(par_jobs, &kinds, duration, cache.as_ref());
     print_run(&par);
 
     let speedup = if par.wall_secs > 0.0 {
@@ -156,7 +205,54 @@ fn main() {
         "speedup jobs={} vs jobs=1: {:.2}x; results bit-identical: {}",
         par_jobs, speedup, identical
     );
+    if oversubscribed {
+        println!(
+            "(oversubscribed: available_parallelism={nproc} < jobs={par_jobs}; \
+             a <2x — even <1x — speedup here says nothing about the engine)"
+        );
+    } else if nproc == 1 {
+        println!(
+            "(single core: a ~1x speedup is the expected result here, \
+             not a regression)"
+        );
+    }
     assert!(identical, "parallel results diverged from sequential");
+    harness::print_cache_stats(cache.as_ref());
+
+    // The "expect >=2x" claim only applies where the hardware can
+    // deliver it; on a single-core or oversubscribed runner the note
+    // must say so, or the bench trajectory reads as a regression.
+    let note = if cache.is_some() {
+        "cache replay run: wall times measure target/cell-cache replay, not the \
+         engine; speedup is not meaningful. serialized RunResults remain \
+         bit-identical by the cache's bit-identity guarantee."
+            .to_string()
+    } else if oversubscribed {
+        format!(
+            "oversubscribed run (available_parallelism={nproc}, parallel leg \
+             jobs={par_jobs}): speedup reflects scheduler contention, not the \
+             engine — do not read it against the >=2x multi-core expectation. \
+             events_per_sec_wall is wall-clock throughput and varies by machine; \
+             serialized RunResults are bit-identical across job counts by \
+             construction."
+        )
+    } else if nproc == 1 {
+        format!(
+            "single-core run (available_parallelism=1, parallel leg \
+             jobs={par_jobs}): there is no parallel hardware to speed anything \
+             up, so a ~1x speedup is the expected result, not a regression — \
+             the >=2x expectation only applies to multi-core runs. \
+             events_per_sec_wall is wall-clock throughput and varies by machine; \
+             serialized RunResults are bit-identical across job counts by \
+             construction."
+        )
+    } else {
+        "multi-core run: expect >=2x speedup at jobs=available_parallelism. \
+         events_per_sec_wall is wall-clock throughput and varies by machine; \
+         serialized RunResults are bit-identical across job counts by \
+         construction."
+            .to_string()
+    };
 
     let report = Report {
         duration_secs: duration.as_secs_f64(),
@@ -168,9 +264,9 @@ fn main() {
         speedup,
         bit_identical: identical,
         available_parallelism: nproc,
-        note: "events_per_sec_wall is wall-clock throughput and varies by machine; \
-               serialized RunResults are bit-identical across job counts by construction."
-            .to_string(),
+        oversubscribed,
+        cache_enabled: cache.is_some(),
+        note,
     };
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

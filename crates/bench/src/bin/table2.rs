@@ -28,7 +28,17 @@ fn main() {
 
     let kinds = WorkloadKind::all();
     let traces = harness::traces_for(&kinds, args.duration, args.jobs);
-    let rows = harness::run_cells(args.jobs, &traces, &harness::headline_designs());
+    let cache = harness::cell_cache(&args);
+    let rows = harness::run_cells_cached(
+        args.jobs,
+        &kinds,
+        &traces,
+        harness::TRACE_CAPACITY,
+        args.duration,
+        harness::seed(),
+        &harness::headline_designs(),
+        cache.as_ref(),
+    );
 
     let mut afraid_speedups = Vec::new();
     let mut raid0_speedups = Vec::new();
@@ -61,4 +71,5 @@ fn main() {
     );
     println!();
     println!("Paper: AFRAID 4.1x RAID 5 (geometric mean); RAID 0 4.2x RAID 5.");
+    harness::print_cache_stats(cache.as_ref());
 }

@@ -52,7 +52,17 @@ fn main() {
     ];
     let kinds = WorkloadKind::all();
     let traces = harness::traces_for(&kinds, args.duration, args.jobs);
-    let rows = harness::run_cells(args.jobs, &traces, &policies);
+    let cache = harness::cell_cache(&args);
+    let rows = harness::run_cells_cached(
+        args.jobs,
+        &kinds,
+        &traces,
+        harness::TRACE_CAPACITY,
+        args.duration,
+        harness::seed(),
+        &policies,
+        cache.as_ref(),
+    );
     for (kind, row) in kinds.iter().zip(&rows) {
         for ((name, _), cell) in policies.iter().zip(row) {
             let m = &cell.result.metrics;
@@ -73,4 +83,5 @@ fn main() {
     println!();
     println!("Paper: MDLR_unprotected < 1 B/h except ATT; < 0.1 B/h under MTTDL_x;");
     println!("overall MDLR ~4 KB/h everywhere (support-component dominated).");
+    harness::print_cache_stats(cache.as_ref());
 }

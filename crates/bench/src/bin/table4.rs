@@ -70,7 +70,17 @@ fn main() {
         .collect();
     let kinds = WorkloadKind::all();
     let traces = harness::traces_for(&kinds, args.duration, args.jobs);
-    let rows = harness::run_cells(args.jobs, &traces, &run_policies);
+    let cache = harness::cell_cache(&args);
+    let rows = harness::run_cells_cached(
+        args.jobs,
+        &kinds,
+        &traces,
+        harness::TRACE_CAPACITY,
+        args.duration,
+        harness::seed(),
+        &run_policies,
+        cache.as_ref(),
+    );
 
     let mut afraid_mttdl = Vec::new();
     let mut afraid_overall = Vec::new();
@@ -113,4 +123,5 @@ fn main() {
         raid5_overall / geo_overall,
     );
     println!("Paper: 4.3x better than RAID 0; a factor of 1.8 worse than pure RAID 5.");
+    harness::print_cache_stats(cache.as_ref());
 }

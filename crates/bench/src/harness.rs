@@ -4,8 +4,11 @@
 //! Every bench binary takes the same CLI shape: an optional positional
 //! duration in simulated seconds, plus `--jobs N` to fan independent
 //! experiment cells over N worker threads (default: all cores, or
-//! `AFRAID_JOBS`). Results are merged in matrix order, so the printed
-//! tables are byte-identical at any job count.
+//! `AFRAID_JOBS`) and `--cache`/`--no-cache` to replay memoised cell
+//! results from `target/cell-cache` (default off). Results are merged
+//! in matrix order, so the printed tables are byte-identical at any
+//! job count — and, by the cache's bit-identity guarantee, whether a
+//! cell was simulated or replayed.
 
 use std::sync::Arc;
 
@@ -14,10 +17,11 @@ use afraid::driver::{run_trace, RunOptions, RunResult};
 use afraid::policy::ParityPolicy;
 use afraid::report::availability;
 use afraid_avail::report::AvailabilityReport;
-use afraid_exp::{jobs_from_args, map_parallel, run_matrix};
+use afraid_exp::{jobs_from_args, map_parallel, run_matrix, CacheKey, CellCache};
 use afraid_sim::time::SimDuration;
 use afraid_trace::record::Trace;
 use afraid_trace::workloads::{WorkloadKind, WorkloadSpec};
+use serde::{Deserialize, Serialize};
 
 /// Logical capacity the synthetic traces address: 7 GB, comfortably
 /// inside the 5 x 2 GB array's ~7.8 GB usable space.
@@ -26,25 +30,58 @@ pub const TRACE_CAPACITY: u64 = 7 * 1024 * 1024 * 1024;
 /// Default simulated duration per run, seconds.
 pub const DEFAULT_DURATION_SECS: u64 = 600;
 
+/// Schema tag baked into every cache key and entry. Bump whenever the
+/// serialized shape of [`RunResult`] (or anything feeding it) changes
+/// in a way the crate version does not capture.
+pub const RESULT_SCHEMA: &str = "afraid-cell-v1";
+
 /// Parsed common bench arguments.
 pub struct BenchArgs {
     /// Simulated duration per run.
     pub duration: SimDuration,
     /// Worker threads for cell fan-out.
     pub jobs: usize,
+    /// Replay memoised cell results from the cross-run cache.
+    pub cache: bool,
 }
 
-/// Parses `[duration_secs] [--jobs N]` from the process arguments.
+/// Parses `[duration_secs] [--jobs N] [--cache|--no-cache]` from the
+/// process arguments. The cache defaults to off; the last
+/// `--cache`/`--no-cache` wins.
 pub fn bench_args() -> BenchArgs {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let (jobs, rest) = jobs_from_args(&raw);
-    let secs = rest
+    let mut cache = false;
+    let mut positional: Vec<String> = Vec::new();
+    for a in rest {
+        match a.as_str() {
+            "--cache" => cache = true,
+            "--no-cache" => cache = false,
+            _ => positional.push(a),
+        }
+    }
+    let secs = positional
         .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_DURATION_SECS);
     BenchArgs {
         duration: SimDuration::from_secs(secs),
         jobs,
+        cache,
+    }
+}
+
+/// Opens the cross-run cell cache at its conventional location when
+/// `--cache` was given, `None` otherwise.
+pub fn cell_cache(args: &BenchArgs) -> Option<CellCache> {
+    args.cache
+        .then(|| CellCache::new(CellCache::default_dir(), RESULT_SCHEMA))
+}
+
+/// Prints the cache counter summary if a cache was in use.
+pub fn print_cache_stats(cache: Option<&CellCache>) {
+    if let Some(c) = cache {
+        println!("{}", c.stats().summary());
     }
 }
 
@@ -117,6 +154,54 @@ pub fn run_cell(trace: &Trace, policy: ParityPolicy) -> Cell {
     Cell { result, avail }
 }
 
+/// Builds the cache key for one cell from its full coordinates: base
+/// seed, trace identity (workload name, addressed capacity, duration),
+/// and the complete array configuration (which embeds the policy,
+/// `ScrubConfig` and `FaultConfig`). The builder itself salts in the
+/// schema tag and crate version. Shared by the bench binaries and
+/// `afraid-cli sweep`, so overlapping grids hit each other's entries.
+pub fn cell_key(
+    cache: &CellCache,
+    cfg: &ArrayConfig,
+    workload: &str,
+    capacity: u64,
+    duration: SimDuration,
+    seed: u64,
+) -> CacheKey {
+    cache
+        .key_builder()
+        .u64(seed)
+        .str(workload)
+        .u64(capacity)
+        .f64(duration.as_secs_f64())
+        .str(&cfg.cache_encoding())
+        .finish()
+}
+
+/// [`run_cell`] with optional cross-run memoisation. On a valid cache
+/// hit the simulation is skipped and the stored `RunResult` replayed;
+/// availability is cheaply recomputed from the replayed metrics.
+pub fn run_cell_cached(
+    trace: &Trace,
+    policy: ParityPolicy,
+    workload: &str,
+    capacity: u64,
+    duration: SimDuration,
+    seed: u64,
+    cache: Option<&CellCache>,
+) -> Cell {
+    let cfg = ArrayConfig::paper_default(policy);
+    let result = match cache {
+        Some(c) => {
+            let key = cell_key(c, &cfg, workload, capacity, duration, seed);
+            c.run_cached(&key, || run_trace(&cfg, trace, &RunOptions::default()))
+        }
+        None => run_trace(&cfg, trace, &RunOptions::default()),
+    };
+    let avail = availability(&cfg, &result.metrics);
+    Cell { result, avail }
+}
+
 /// Runs the full (trace × policy) matrix over `jobs` workers and
 /// returns rows in trace order, columns in policy order — the same
 /// shape and values a sequential double loop would produce.
@@ -130,6 +215,35 @@ pub fn run_cells(
     })
 }
 
+/// [`run_cells`] with optional cross-run memoisation. `kinds` must be
+/// the workload list the traces were generated from (same order);
+/// `capacity` and `seed` are the trace-generation coordinates, which
+/// differ between the bench binaries ([`TRACE_CAPACITY`], [`seed`])
+/// and `afraid-cli sweep` (capacity derived from the array).
+#[allow(clippy::too_many_arguments)]
+pub fn run_cells_cached(
+    jobs: usize,
+    kinds: &[WorkloadKind],
+    traces: &[Arc<Trace>],
+    capacity: u64,
+    duration: SimDuration,
+    seed: u64,
+    policies: &[(String, ParityPolicy)],
+    cache: Option<&CellCache>,
+) -> Vec<Vec<Cell>> {
+    run_matrix(jobs, traces, policies, |trace, (_, policy), key| {
+        run_cell_cached(
+            trace,
+            *policy,
+            kinds[key.trace].name(),
+            capacity,
+            duration,
+            seed,
+            cache,
+        )
+    })
+}
+
 /// Fans heterogeneous per-cell configurations (ablation studies) over
 /// `jobs` workers, preserving input order.
 pub fn run_variants<T, R, F>(jobs: usize, variants: &[T], f: F) -> Vec<R>
@@ -139,6 +253,29 @@ where
     F: Fn(&T) -> R + Sync,
 {
     map_parallel(jobs, variants, |_, v| f(v))
+}
+
+/// [`run_variants`] with optional cross-run memoisation: `key_of`
+/// derives each variant's cache key (callers must fold in *every*
+/// coordinate the variant's result depends on — typically via
+/// [`cell_key`] or the cache's raw key builder).
+pub fn run_variants_cached<T, R, F, K>(
+    jobs: usize,
+    variants: &[T],
+    cache: Option<&CellCache>,
+    key_of: K,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Serialize + Deserialize,
+    F: Fn(&T) -> R + Sync,
+    K: Fn(&CellCache, &T) -> CacheKey + Sync,
+{
+    map_parallel(jobs, variants, |_, v| match cache {
+        Some(c) => c.run_cached(&key_of(c, v), || f(v)),
+        None => f(v),
+    })
 }
 
 /// Formats hours compactly (e.g. `4.2e9 h`).

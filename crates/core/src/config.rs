@@ -214,6 +214,20 @@ impl ArrayConfig {
         self.disks - 1
     }
 
+    /// Stable textual encoding of every configuration field, used by
+    /// the cross-run cell cache as key material.
+    ///
+    /// Built on the derived `Debug` representation: it covers every
+    /// field recursively (including `ScrubConfig`, `FaultConfig`, the
+    /// disk model, and region overrides), and a newly added field
+    /// automatically changes the encoding — so stale cache entries
+    /// keyed on an older shape can never be confused with the new one.
+    /// Float fields are rendered with Rust's shortest round-trip
+    /// formatting, which is injective on bit patterns.
+    pub fn cache_encoding(&self) -> String {
+        format!("{self:?}")
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -327,6 +341,70 @@ mod tests {
         assert!(ArrayConfig::small_test(ParityPolicy::AlwaysRaid5)
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn cache_encoding_distinguishes_every_mutated_field() {
+        let base = ArrayConfig::paper_default(ParityPolicy::IdleOnly);
+        let mutations: Vec<(&str, ArrayConfig)> = vec![
+            ("disks", {
+                let mut c = base.clone();
+                c.disks = 6;
+                c
+            }),
+            ("stripe_unit_bytes", {
+                let mut c = base.clone();
+                c.stripe_unit_bytes = 16384;
+                c
+            }),
+            (
+                "policy",
+                ArrayConfig::paper_default(ParityPolicy::AlwaysRaid5),
+            ),
+            ("idle_delay", {
+                let mut c = base.clone();
+                c.idle_delay = SimDuration::from_millis(200);
+                c
+            }),
+            ("scrub_batch", {
+                let mut c = base.clone();
+                c.scrub_batch = base.scrub_batch + 1;
+                c
+            }),
+            ("read_cache_bytes", {
+                let mut c = base.clone();
+                c.read_cache_bytes = base.read_cache_bytes * 2;
+                c
+            }),
+            ("shadow", {
+                let mut c = base.clone();
+                c.shadow = !base.shadow;
+                c
+            }),
+            ("spin_synchronized", {
+                let mut c = base.clone();
+                c.spin_synchronized = !base.spin_synchronized;
+                c
+            }),
+            ("scrub.iops_budget", {
+                let mut c = base.clone();
+                c.scrub.iops_budget += 1.0;
+                c
+            }),
+            ("faults", {
+                let mut c = base.clone();
+                c.faults.media_error_per_io += 0.5;
+                c
+            }),
+        ];
+        let origin = base.cache_encoding();
+        for (field, mutated) in &mutations {
+            assert_ne!(
+                origin,
+                mutated.cache_encoding(),
+                "mutating `{field}` left the cache encoding unchanged"
+            );
+        }
     }
 
     #[test]

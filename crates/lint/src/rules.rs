@@ -364,6 +364,29 @@ fn check_d1(file: &str, code: &[&Tok<'_>], i: usize, tok: &Tok<'_>, out: &mut Ve
             }
         }
     }
+    // fs :: anything — file-system access. Flagged at both use-sites
+    // (`fs::read_to_string`) and imports (`use std::fs::File`): the
+    // file system is ambient mutable state, so any read that can feed
+    // back into results needs an annotated soundness argument (e.g.
+    // the cell cache's validated, bit-identical replay).
+    if tok.is_ident("fs")
+        && code.get(i + 1).is_some_and(|t| t.is_punct(b':'))
+        && code.get(i + 2).is_some_and(|t| t.is_punct(b':'))
+    {
+        if let Some(next) = code.get(i + 3) {
+            if next.kind == TokKind::Ident {
+                let op = String::from_utf8_lossy(next.text);
+                out.push(Finding::new(
+                    file,
+                    next.line,
+                    "d1",
+                    format!(
+                        "`fs::{op}` in a deterministic crate: file-system state is an ambient input (results must be pure functions of cell coordinates; annotate sound cache/persistence exceptions)"
+                    ),
+                ));
+            }
+        }
+    }
 }
 
 fn check_d2(file: &str, tok: &Tok<'_>, out: &mut Vec<Finding>) {

@@ -78,7 +78,7 @@ fn det() -> FileClass {
 
 #[test]
 fn d1_fires_on_clock_entropy_and_env() {
-    check_fixture("d1_violations.rs", "d1", det(), 1);
+    check_fixture("d1_violations.rs", "d1", det(), 2);
 }
 
 #[test]

@@ -27,3 +27,22 @@ fn annotated() {
     // lint:allow(d1) fixture: timing a diagnostic that never feeds a result
     let _t = std::time::Instant::now(); // NEGATIVE: carried by the allow above
 }
+
+fn fs_positives() {
+    let _data = std::fs::read_to_string("cache.json"); // POSITIVE: fs::read_to_string
+    let _file = std::fs::File::open("entry.json"); // POSITIVE: fs::File
+    let _ = std::fs::rename("a.tmp", "a.json"); // POSITIVE: fs::rename
+}
+
+fn fs_negatives() {
+    // NEGATIVE: an identifier named fs, not the module.
+    let fs = 1u64;
+    let _ = fs;
+    // NEGATIVE: "fs::read" in a string literal, not code.
+    let _s = "fs::read is gated";
+}
+
+fn fs_annotated() {
+    // lint:allow(d1) fixture: validated cache read replays byte-identical results
+    let _t = std::fs::read("entry.json"); // NEGATIVE: carried by the allow above
+}

@@ -12,6 +12,8 @@ use afraid::config::ArrayConfig;
 use afraid::driver::{run_trace, RunOptions};
 use afraid::policy::ParityPolicy;
 use afraid::report::availability;
+use afraid_bench::harness;
+use afraid_exp::CellCache;
 use afraid_sim::time::{SimDuration, SimTime};
 use afraid_trace::workloads::{WorkloadKind, WorkloadSpec};
 use std::process::ExitCode;
@@ -30,7 +32,15 @@ SWEEP OPTIONS:
     --seed <n>            workload seed (default: 42)
     --jobs <n>            worker threads; results are bit-identical for
                           any job count (default: all cores)
-    --json                emit the matrix as JSON
+    --full                run the full Figure 3 policy grid (RAID 5,
+                          seven MTTDL_x targets, AFRAID, RAID 0)
+                          instead of the three headline designs
+    --cache               replay memoised cells from target/cell-cache;
+                          results are bit-identical to a fresh run
+    --no-cache            disable the cell cache (default)
+    --json                emit the matrix as JSON; cache counters then
+                          go to stderr so stdout stays byte-comparable
+                          between cold and warm runs
 
 RUN OPTIONS:
     --workload <name>     workload preset (default: snake)
@@ -132,6 +142,8 @@ fn sweep(args: &[String]) -> ExitCode {
     let mut seed = 42u64;
     let mut jobs = afraid_exp::default_jobs();
     let mut json = false;
+    let mut full = false;
+    let mut use_cache = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -155,6 +167,9 @@ fn sweep(args: &[String]) -> ExitCode {
                 Some(v) => jobs = v,
                 None => return ExitCode::FAILURE,
             },
+            "--full" => full = true,
+            "--cache" => use_cache = true,
+            "--no-cache" => use_cache = false,
             "--json" => json = true,
             other => {
                 eprintln!("unknown option '{other}'");
@@ -164,11 +179,11 @@ fn sweep(args: &[String]) -> ExitCode {
         }
     }
 
-    let policies = [
-        ("raid0", ParityPolicy::NeverRebuild),
-        ("afraid", ParityPolicy::IdleOnly),
-        ("raid5", ParityPolicy::AlwaysRaid5),
-    ];
+    let policies = if full {
+        harness::policy_sweep()
+    } else {
+        harness::headline_designs()
+    };
     let cfg = ArrayConfig::paper_default(ParityPolicy::IdleOnly);
     let unit_sectors = cfg.stripe_unit_bytes / 512;
     let stripes = cfg.disk_model.geometry.capacity_sectors() / unit_sectors;
@@ -176,26 +191,31 @@ fn sweep(args: &[String]) -> ExitCode {
 
     let kinds = WorkloadKind::all();
     let duration = SimDuration::from_secs(secs);
+    let cache = use_cache.then(|| CellCache::new(CellCache::default_dir(), harness::RESULT_SCHEMA));
     let traces = afraid_exp::generate_traces(jobs, &kinds, capacity, duration, seed);
-    let rows = afraid_exp::run_matrix(jobs, &traces, &policies, |trace, (_, policy), _| {
-        let cfg = ArrayConfig::paper_default(*policy);
-        let result = run_trace(&cfg, trace, &RunOptions::default());
-        let avail = availability(&cfg, &result.metrics);
-        (result, avail)
-    });
+    let rows = harness::run_cells_cached(
+        jobs,
+        &kinds,
+        &traces,
+        capacity,
+        duration,
+        seed,
+        &policies,
+        cache.as_ref(),
+    );
 
     let mut cells = Vec::new();
     for (kind, row) in kinds.iter().zip(&rows) {
-        for ((name, _), (result, avail)) in policies.iter().zip(row) {
+        for ((name, _), cell) in policies.iter().zip(row) {
             cells.push(SweepRow {
                 workload: kind.name().to_string(),
                 policy: name.to_string(),
-                mean_io_ms: result.metrics.mean_io_ms,
-                p95_io_ms: result.metrics.p95_io_ms,
-                frac_unprotected: result.metrics.frac_unprotected,
-                mttdl_disk_hours: avail.mttdl_disk,
-                mttdl_overall_hours: avail.mttdl_overall,
-                events_processed: result.metrics.events_processed,
+                mean_io_ms: cell.result.metrics.mean_io_ms,
+                p95_io_ms: cell.result.metrics.p95_io_ms,
+                frac_unprotected: cell.result.metrics.frac_unprotected,
+                mttdl_disk_hours: cell.avail.mttdl_disk,
+                mttdl_overall_hours: cell.avail.mttdl_overall,
+                events_processed: cell.result.metrics.events_processed,
             });
         }
     }
@@ -206,6 +226,17 @@ fn sweep(args: &[String]) -> ExitCode {
             Err(e) => {
                 eprintln!("serialisation failed: {e}");
                 return ExitCode::FAILURE;
+            }
+        }
+        // Counters go to stderr: stdout stays a pure cells array, so
+        // cold and warm runs can be compared byte-for-byte.
+        if let Some(c) = &cache {
+            match serde_json::to_string(&c.stats()) {
+                Ok(s) => eprintln!("{s}"),
+                Err(e) => {
+                    eprintln!("cache stats serialisation failed: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
         return ExitCode::SUCCESS;
@@ -230,6 +261,10 @@ fn sweep(args: &[String]) -> ExitCode {
             c.mttdl_disk_hours,
             c.mttdl_overall_hours,
         );
+    }
+    if let Some(c) = &cache {
+        println!();
+        println!("{}", c.stats().summary());
     }
     ExitCode::SUCCESS
 }

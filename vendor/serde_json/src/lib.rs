@@ -2,9 +2,12 @@
 //! [`Value`] tree to JSON text and parses JSON text back.
 //!
 //! Output conventions match real serde_json where the repo depends on
-//! them: non-finite floats serialise as `null`, floats use Rust's
-//! shortest round-trip formatting, and pretty output indents by two
-//! spaces.
+//! them: floats use the shortest representation that parses back to
+//! the same bits (plain or exponent form), `-0.0` keeps its sign,
+//! non-finite floats are rejected with an error (real serde_json
+//! emits `null`, which deserialises as NaN — silent corruption this
+//! repo's byte-stable cache entries cannot tolerate), and pretty
+//! output indents by two spaces.
 
 use serde::{Deserialize, Serialize, Value};
 use std::fmt;
@@ -53,10 +56,10 @@ impl From<serde::Error> for Error {
 ///
 /// # Errors
 ///
-/// Infallible in practice; typed for API compatibility.
+/// Returns [`Error::Data`] if the value contains a non-finite float.
 pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&mut out, &value.to_value(), None, 0);
+    write_value(&mut out, &value.to_value(), None, 0)?;
     Ok(out)
 }
 
@@ -64,10 +67,10 @@ pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
 ///
 /// # Errors
 ///
-/// Infallible in practice; typed for API compatibility.
+/// Returns [`Error::Data`] if the value contains a non-finite float.
 pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&mut out, &value.to_value(), Some(2), 0);
+    write_value(&mut out, &value.to_value(), Some(2), 0)?;
     Ok(out)
 }
 
@@ -106,30 +109,23 @@ pub fn from_reader<R: Read, T: Deserialize>(mut r: R) -> Result<T, Error> {
 // Printer
 // ---------------------------------------------------------------------
 
-fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+fn write_value(
+    out: &mut String,
+    v: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
     match v {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         Value::U64(n) => out.push_str(&n.to_string()),
         Value::I64(n) => out.push_str(&n.to_string()),
-        Value::F64(x) => {
-            if x.is_finite() {
-                // Rust's shortest round-trip formatting; make integral
-                // floats unambiguous (`1.0`, not `1`).
-                let s = x.to_string();
-                out.push_str(&s);
-                if !s.contains(['.', 'e', 'E']) {
-                    out.push_str(".0");
-                }
-            } else {
-                out.push_str("null");
-            }
-        }
+        Value::F64(x) => out.push_str(&fmt_f64(*x)?),
         Value::Str(s) => write_string(out, s),
         Value::Seq(items) => {
             write_bracketed(out, '[', ']', items.len(), indent, depth, |out, i, d| {
-                write_value(out, &items[i], indent, d);
-            });
+                write_value(out, &items[i], indent, d)
+            })?;
         }
         Value::Map(entries) => {
             write_bracketed(out, '{', '}', entries.len(), indent, depth, |out, i, d| {
@@ -139,9 +135,44 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
                 if indent.is_some() {
                     out.push(' ');
                 }
-                write_value(out, val, indent, d);
-            });
+                write_value(out, val, indent, d)
+            })?;
         }
+    }
+    Ok(())
+}
+
+/// Formats a finite `f64` as the shortest text that parses back to the
+/// same bits, preferring plain decimal over exponent form on ties.
+///
+/// Rust's `Display` always emits a shortest round-trip decimal but
+/// never uses exponent form, so extreme magnitudes balloon (`1e300`
+/// becomes 301 digits); `LowerExp` also round-trips exactly.  `-0.0`
+/// keeps its sign (`Display` prints `-0`, which the `.0` suffix turns
+/// into `-0.0`, preserving the sign bit through a parse).
+///
+/// # Errors
+///
+/// Returns [`Error::Data`] for NaN and infinities: JSON cannot
+/// represent them, and the legacy `null` fallback deserialised as NaN,
+/// silently corrupting any value that survived a round trip.
+fn fmt_f64(x: f64) -> Result<String, Error> {
+    if !x.is_finite() {
+        return Err(Error::Data(format!(
+            "cannot serialise non-finite float {x} as JSON"
+        )));
+    }
+    let mut plain = x.to_string();
+    if !plain.contains(['.', 'e', 'E']) {
+        plain.push_str(".0");
+    }
+    let exp = format!("{x:e}");
+    if exp.len() < plain.len() {
+        debug_assert_eq!(exp.parse::<f64>().map(f64::to_bits), Ok(x.to_bits()));
+        Ok(exp)
+    } else {
+        debug_assert_eq!(plain.parse::<f64>().map(f64::to_bits), Ok(x.to_bits()));
+        Ok(plain)
     }
 }
 
@@ -152,12 +183,12 @@ fn write_bracketed(
     len: usize,
     indent: Option<usize>,
     depth: usize,
-    mut item: impl FnMut(&mut String, usize, usize),
-) {
+    mut item: impl FnMut(&mut String, usize, usize) -> Result<(), Error>,
+) -> Result<(), Error> {
     out.push(open);
     if len == 0 {
         out.push(close);
-        return;
+        return Ok(());
     }
     for i in 0..len {
         if i > 0 {
@@ -167,13 +198,14 @@ fn write_bracketed(
             out.push('\n');
             out.extend(std::iter::repeat_n(' ', n * (depth + 1)));
         }
-        item(out, i, depth + 1);
+        item(out, i, depth + 1)?;
     }
     if let Some(n) = indent {
         out.push('\n');
         out.extend(std::iter::repeat_n(' ', n * depth));
     }
     out.push(close);
+    Ok(())
 }
 
 fn write_string(out: &mut String, s: &str) {
@@ -382,9 +414,15 @@ impl<'a> Parser<'a> {
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("bad number"))?;
         if is_float {
-            text.parse::<f64>()
-                .map(Value::F64)
-                .map_err(|_| self.err("bad number"))
+            match text.parse::<f64>() {
+                // `str::parse` accepts overflowing literals like
+                // `1e999` and saturates to infinity; a non-finite
+                // result here is a value we could never re-serialise,
+                // so reject it at the boundary.
+                Ok(x) if x.is_finite() => Ok(Value::F64(x)),
+                Ok(_) => Err(self.err("number overflows f64")),
+                Err(_) => Err(self.err("bad number")),
+            }
         } else if text.starts_with('-') {
             text.parse::<i64>()
                 .map(Value::I64)
@@ -401,13 +439,17 @@ impl<'a> Parser<'a> {
 mod tests {
     use super::*;
 
+    fn render(v: &Value) -> String {
+        let mut out = String::new();
+        write_value(&mut out, v, None, 0).unwrap();
+        out
+    }
+
     #[test]
     fn roundtrip_scalars() {
         for src in ["null", "true", "false", "42", "-17", "3.5", "\"hi\\n\""] {
             let v = parse(src).unwrap();
-            let mut out = String::new();
-            write_value(&mut out, &v, None, 0);
-            assert_eq!(out, src);
+            assert_eq!(render(&v), src);
         }
     }
 
@@ -415,31 +457,85 @@ mod tests {
     fn roundtrip_nested() {
         let src = r#"{"a":[1,2,{"b":null}],"c":"x"}"#;
         let v = parse(src).unwrap();
-        let mut out = String::new();
-        write_value(&mut out, &v, None, 0);
-        assert_eq!(out, src);
+        assert_eq!(render(&v), src);
     }
 
     #[test]
     fn pretty_indents() {
         let v = parse(r#"{"a":1}"#).unwrap();
         let mut out = String::new();
-        write_value(&mut out, &v, Some(2), 0);
+        write_value(&mut out, &v, Some(2), 0).unwrap();
         assert_eq!(out, "{\n  \"a\": 1\n}");
     }
 
     #[test]
-    fn nonfinite_floats_are_null() {
-        let mut out = String::new();
-        write_value(&mut out, &Value::F64(f64::NAN), None, 0);
-        assert_eq!(out, "null");
+    fn nonfinite_floats_are_rejected() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut out = String::new();
+            assert!(write_value(&mut out, &Value::F64(x), None, 0).is_err());
+        }
+    }
+
+    #[test]
+    fn parser_rejects_overflowing_floats() {
+        assert!(parse("1e999").is_err());
+        assert!(parse("-1e999").is_err());
     }
 
     #[test]
     fn integral_float_keeps_point() {
-        let mut out = String::new();
-        write_value(&mut out, &Value::F64(2.0), None, 0);
-        assert_eq!(out, "2.0");
+        assert_eq!(render(&Value::F64(2.0)), "2.0");
+    }
+
+    #[test]
+    fn negative_zero_keeps_sign() {
+        let text = render(&Value::F64(-0.0));
+        assert_eq!(text, "-0.0");
+        let back = match parse(&text).unwrap() {
+            Value::F64(x) => x,
+            other => panic!("expected F64, got {other:?}"),
+        };
+        assert_eq!(back.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn extreme_magnitudes_use_exponent_form() {
+        assert_eq!(render(&Value::F64(1e300)), "1e300");
+        assert_eq!(render(&Value::F64(5e-324)), "5e-324");
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        // A grid of awkward values: subnormals, integer boundaries,
+        // values whose shortest form needs 17 digits, both zero signs.
+        let cases = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::MIN,
+            5e-324,
+            2f64.powi(53),
+            2f64.powi(53) + 2.0,
+            0.300_000_000_000_000_04,
+            std::f64::consts::TAU,
+            1e300,
+            -7.236_423_598_234e-200,
+        ];
+        for x in cases {
+            let text = render(&Value::F64(x));
+            let back = match parse(&text).unwrap() {
+                Value::F64(b) => b,
+                other => panic!("expected F64 for {text}, got {other:?}"),
+            };
+            assert_eq!(back.to_bits(), x.to_bits(), "round-trip broke for {text}");
+            // Re-rendering the parsed value must be byte-stable.
+            assert_eq!(render(&Value::F64(back)), text);
+        }
     }
 
     #[test]
