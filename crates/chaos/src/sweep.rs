@@ -1,0 +1,166 @@
+//! Cut-point sweeps: fan thousands of crash experiments across cores.
+//!
+//! The cut index is an ordinary cell coordinate: each cut replays the
+//! simulation deterministically from event 0, so verdicts are pure
+//! functions of `(scenario, seed, duration, cut)` — bit-identical at
+//! any `--jobs` count, and memoisable in the cross-run cell cache.
+
+use afraid_exp::{map_parallel, CacheKey, CellCache};
+use afraid_trace::record::Trace;
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::ChaosSpec;
+use crate::verdict::CutVerdict;
+
+/// Cache schema tag for chaos cut cells. Bump when the verdict shape
+/// or the recovery semantics change.
+pub const CHAOS_SCHEMA: &str = "afraid-chaos-cut-v1";
+
+/// `n` cut points spread evenly over `[1, total_events]`, deduplicated
+/// and sorted. Cut 0 (crash before any event) is always included: the
+/// degenerate bound belongs in every sweep.
+pub fn cut_points(total_events: u64, n: usize) -> Vec<u64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut cuts = Vec::with_capacity(n + 1);
+    cuts.push(0);
+    if n == 1 || total_events == 0 {
+        cuts.push(total_events);
+    } else {
+        let span = total_events - 1;
+        for i in 0..n {
+            cuts.push(1 + span * i as u64 / (n as u64 - 1));
+        }
+    }
+    cuts.dedup();
+    cuts
+}
+
+/// The cache key of one cut cell: every coordinate that can change the
+/// verdict, plus the scenario's full config encoding so a config tweak
+/// orphans stale entries.
+pub fn cut_key(cache: &CellCache, spec: &ChaosSpec, trace: &Trace, cut: u64) -> CacheKey {
+    cache
+        .key_builder()
+        .str("chaos-cut")
+        .str(spec.scenario.name())
+        .str(&spec.cfg.cache_encoding())
+        .str(&format!("{:?}", spec.opts))
+        .str(&trace.name)
+        .f64(spec.duration.as_secs_f64())
+        .u64(spec.seed)
+        .u64(spec.kill_disk_at_cut.map_or(u64::MAX, u64::from))
+        .u64(u64::from(spec.kill_nvram_at_cut))
+        .u64(cut)
+        .finish()
+}
+
+/// Runs (or replays from cache) the verdicts for every cut, in input
+/// order, `jobs`-parallel.
+pub fn sweep(
+    spec: &ChaosSpec,
+    trace: &Trace,
+    cuts: &[u64],
+    jobs: usize,
+    cache: Option<&CellCache>,
+) -> Vec<CutVerdict> {
+    map_parallel(jobs, cuts, |_, &cut| match cache {
+        Some(c) => c.run_cached(&cut_key(c, spec, trace, cut), || spec.run_cut(trace, cut)),
+        None => spec.run_cut(trace, cut),
+    })
+}
+
+/// Aggregate of one scenario's sweep, for reports and CI gates.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepSummary {
+    /// Scenario name.
+    pub scenario: String,
+    /// Cut points judged.
+    pub cuts: u64,
+    /// Cuts where all four invariants held.
+    pub passed: u64,
+    /// Cuts with a violated invariant (first failure quoted).
+    pub failed: u64,
+    /// First failure message, if any cut failed.
+    pub first_failure: Option<String>,
+    /// Cuts that declared at least one unit lost.
+    pub cuts_with_declared_loss: u64,
+    /// Cuts with at least one truly unrecoverable unit.
+    pub cuts_with_true_loss: u64,
+    /// Total units declared lost across all cuts.
+    pub declared_lost_units: u64,
+    /// Total truly lost units across all cuts.
+    pub truly_lost_units: u64,
+    /// Total stale-parity stripes rebuilt across all cuts.
+    pub scrubbed: u64,
+    /// Total spurious marks (crash between mark and write).
+    pub spurious_marks: u64,
+    /// Total dead-disk units reconstructed from survivors.
+    pub reconstructed: u64,
+}
+
+/// Folds a sweep's verdicts into a summary row.
+pub fn summarize(scenario: &str, verdicts: &[CutVerdict]) -> SweepSummary {
+    let mut s = SweepSummary {
+        scenario: scenario.to_string(),
+        cuts: verdicts.len() as u64,
+        passed: 0,
+        failed: 0,
+        first_failure: None,
+        cuts_with_declared_loss: 0,
+        cuts_with_true_loss: 0,
+        declared_lost_units: 0,
+        truly_lost_units: 0,
+        scrubbed: 0,
+        spurious_marks: 0,
+        reconstructed: 0,
+    };
+    for v in verdicts {
+        if v.pass {
+            s.passed += 1;
+        } else {
+            s.failed += 1;
+            if s.first_failure.is_none() {
+                s.first_failure = v.failure.clone();
+            }
+        }
+        if v.declared_lost > 0 {
+            s.cuts_with_declared_loss += 1;
+        }
+        if v.truly_lost > 0 {
+            s.cuts_with_true_loss += 1;
+        }
+        s.declared_lost_units += v.declared_lost;
+        s.truly_lost_units += v.truly_lost;
+        s.scrubbed += v.scrubbed;
+        s.spurious_marks += v.spurious_marks;
+        s.reconstructed += v.reconstructed;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_points_cover_both_ends() {
+        let cuts = cut_points(1000, 10);
+        assert_eq!(cuts[0], 0);
+        assert_eq!(cuts[1], 1);
+        assert_eq!(*cuts.last().unwrap(), 1000);
+        assert!(cuts.windows(2).all(|w| w[0] < w[1]), "{cuts:?}");
+    }
+
+    #[test]
+    fn cut_points_degenerate() {
+        assert!(cut_points(1000, 0).is_empty());
+        assert_eq!(cut_points(0, 4), vec![0]);
+        assert_eq!(cut_points(5, 1), vec![0, 5]);
+        // More requested cuts than events: dedup keeps each once.
+        let cuts = cut_points(3, 100);
+        assert!(cuts.len() <= 5, "{cuts:?}");
+        assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+    }
+}

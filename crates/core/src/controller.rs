@@ -557,6 +557,43 @@ impl Controller {
         self.degraded.is_some()
     }
 
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The dead (or being-rebuilt) disk while degraded. `None` once
+    /// the rebuild sweep has fully restored the spare — a crash then
+    /// is an ordinary power loss.
+    pub fn dead_disk(&self) -> Option<u32> {
+        self.degraded.as_ref().map(|d| d.failed)
+    }
+
+    /// Scarred `(stripe, unit)` pairs: data units declared lost when
+    /// the disk failed, whose reconstruction garbage was absorbed as
+    /// defined content. Empty outside degraded mode.
+    pub fn scarred_units(&self) -> Vec<(u64, u32)> {
+        self.degraded
+            .as_ref()
+            .map(|d| d.scarred.iter().map(|(&s, &u)| (s, u)).collect())
+            .unwrap_or_default()
+    }
+
+    /// The rebuild sweep's restored-below cursor, if a spare is being
+    /// rebuilt. Volatile state: a crash forgets it and recovery
+    /// restarts the sweep from stripe 0.
+    pub fn rebuild_cursor(&self) -> Option<u64> {
+        self.degraded
+            .as_ref()
+            .and_then(|d| d.rebuild.as_ref())
+            .map(|rb| rb.cursor_done)
+    }
+
+    /// The disk currently draining toward a health eviction, if any.
+    pub fn evicting_disk(&self) -> Option<u32> {
+        self.evicting
+    }
+
     /// The dead disk a stripe must route around, if any (stripes the
     /// rebuild sweep has already restored use the spare normally).
     fn degraded_disk_for(&self, stripe: u64) -> Option<u32> {

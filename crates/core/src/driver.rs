@@ -7,6 +7,14 @@
 //! final idle period has let the scrubber drain the remaining dirty
 //! stripes, so the unprotected-time accounting is honest about the
 //! tail.
+//!
+//! [`run_to_cut`] drives the *same* loop but cuts the power after a
+//! fixed number of processed events, returning the crash-durable
+//! state ([`CrashImage`]) for the chaos harness to recover and
+//! byte-check. Because both entry points share one step function, a
+//! cut at `k` events observes exactly the state `run_trace` passed
+//! through after its `k`-th event — the cut index is a pure
+//! coordinate, which is what makes chaos sweeps cell-cacheable.
 
 use afraid_sim::time::{SimDuration, SimTime};
 use afraid_trace::record::Trace;
@@ -16,6 +24,7 @@ use crate::config::ArrayConfig;
 use crate::controller::{Controller, Ev};
 use crate::faults::{assess_loss, DataLossReport};
 use crate::metrics::RunMetrics;
+use crate::recovery::CrashImage;
 
 /// Optional fault injections and run switches.
 #[derive(Clone, Debug, Default)]
@@ -59,53 +68,97 @@ pub struct RunResult {
     pub end: SimTime,
 }
 
-/// Replays `trace` through an array configured by `cfg`.
-///
-/// # Panics
-///
-/// Panics if the configuration is invalid or the trace addresses
-/// space beyond the array's logical capacity.
-pub fn run_trace(cfg: &ArrayConfig, trace: &Trace, opts: &RunOptions) -> RunResult {
-    let mut c = Controller::new(cfg.clone());
-    assert!(
-        trace.capacity <= c.layout().logical_capacity(),
-        "trace capacity {} exceeds array capacity {}",
-        trace.capacity,
-        c.layout().logical_capacity()
-    );
+/// The crash-durable state at a cut, plus run context the harness
+/// needs to judge the recovery.
+#[derive(Clone, Debug)]
+pub struct CrashRun {
+    /// What survives the power cut.
+    pub image: CrashImage,
+    /// The loss report assessed when a disk failed *during* the run
+    /// (before the cut), if one did. Units lost at the failure instant
+    /// were already reported then; they are not recovery's debt.
+    pub loss: Option<DataLossReport>,
+    /// Events processed before the cut (equals the requested cut
+    /// unless the run drained first).
+    pub events_processed: u64,
+}
 
-    if let Some((disk, at)) = opts.fail_disk {
-        assert!(disk < cfg.disks, "no such disk {disk}");
-        c.events.schedule(at, Ev::FailDisk { disk });
-    }
-    if let Some(at) = opts.fail_nvram {
-        c.events.schedule(at, Ev::FailNvram);
-    }
-    for &(at, offset, bytes) in &opts.parity_points {
-        c.events.schedule(at, Ev::ParityPoint { offset, bytes });
+/// One in-flight trace replay: the event loop state shared by
+/// [`run_trace`] and [`run_to_cut`].
+struct TraceRun<'a> {
+    cfg: &'a ArrayConfig,
+    trace: &'a Trace,
+    opts: &'a RunOptions,
+    c: Controller,
+    next_arrival: usize,
+    loss: Option<DataLossReport>,
+    events_processed: u64,
+    queue_peak: usize,
+    /// Set when an injected disk failure ends the run (fail-stop mode).
+    halted: bool,
+}
+
+impl<'a> TraceRun<'a> {
+    fn new(cfg: &'a ArrayConfig, trace: &'a Trace, opts: &'a RunOptions) -> TraceRun<'a> {
+        let mut c = Controller::new(cfg.clone());
+        assert!(
+            trace.capacity <= c.layout().logical_capacity(),
+            "trace capacity {} exceeds array capacity {}",
+            trace.capacity,
+            c.layout().logical_capacity()
+        );
+
+        if let Some((disk, at)) = opts.fail_disk {
+            assert!(disk < cfg.disks, "no such disk {disk}");
+            c.events.schedule(at, Ev::FailDisk { disk });
+        }
+        if let Some(at) = opts.fail_nvram {
+            c.events.schedule(at, Ev::FailNvram);
+        }
+        for &(at, offset, bytes) in &opts.parity_points {
+            c.events.schedule(at, Ev::ParityPoint { offset, bytes });
+        }
+
+        if let Some(first) = trace.records.first() {
+            c.events.schedule(first.time, Ev::Arrive);
+        } else {
+            c.draining = true;
+        }
+
+        let queue_peak = c.events.len();
+        TraceRun {
+            cfg,
+            trace,
+            opts,
+            c,
+            next_arrival: 0,
+            loss: None,
+            events_processed: 0,
+            queue_peak,
+            halted: false,
+        }
     }
 
-    let mut next_arrival = 0usize;
-    if let Some(first) = trace.records.first() {
-        c.events.schedule(first.time, Ev::Arrive);
-    } else {
-        c.draining = true;
-    }
-
-    let mut loss: Option<DataLossReport> = None;
-    let mut events_processed: u64 = 0;
-    let mut queue_peak: usize = c.events.len();
-    while let Some((t, ev)) = c.events.pop() {
+    /// Processes one event. Returns `false` when the run is over: the
+    /// queue drained, or a fail-stop disk failure ended it.
+    fn step(&mut self) -> bool {
+        if self.halted {
+            return false;
+        }
+        let Some((t, ev)) = self.c.events.pop() else {
+            return false;
+        };
+        let c = &mut self.c;
         debug_assert!(t >= c.now, "time went backwards");
         c.now = t;
-        events_processed += 1;
+        self.events_processed += 1;
         match ev {
             Ev::Arrive => {
-                let rec = trace.records[next_arrival];
-                next_arrival += 1;
-                if next_arrival < trace.records.len() {
+                let rec = self.trace.records[self.next_arrival];
+                self.next_arrival += 1;
+                if self.next_arrival < self.trace.records.len() {
                     c.events
-                        .schedule(trace.records[next_arrival].time, Ev::Arrive);
+                        .schedule(self.trace.records[self.next_arrival].time, Ev::Arrive);
                 } else {
                     // No more arrivals: background work (the scrub
                     // tour in particular) must wind down.
@@ -118,20 +171,23 @@ pub fn run_trace(cfg: &ArrayConfig, trace: &Trace, opts: &RunOptions) -> RunResu
                 // Materialise latent-error arrivals up to the failure
                 // instant so the assessment sees the true exposure.
                 c.sync_latent();
-                loss = Some(assess_loss(
+                self.loss = Some(assess_loss(
                     c.layout(),
                     c.marks(),
                     c.shadow(),
-                    &cfg.regions,
+                    &self.cfg.regions,
                     c.latent_errors(),
                     disk,
                     c.now,
                 ));
-                if !opts.continue_degraded {
-                    break;
+                if !self.opts.continue_degraded {
+                    // Fail-stop: mirror the old loop's `break`, which
+                    // skipped the end-of-iteration queue-peak update.
+                    self.halted = true;
+                    return false;
                 }
                 c.enter_degraded(disk);
-                if let Some(delay) = opts.spare_delay {
+                if let Some(delay) = self.opts.spare_delay {
                     c.events.schedule(c.now + delay, Ev::SpareInstalled);
                 }
             }
@@ -143,35 +199,84 @@ pub fn run_trace(cfg: &ArrayConfig, trace: &Trace, opts: &RunOptions) -> RunResu
                 // degraded, a spare arrives after the configured
                 // delay, and the rebuild restores it.
                 if !c.finalize_eviction(disk) {
-                    continue; // a same-instant write re-armed the settle
+                    // A same-instant write re-armed the settle: mirror
+                    // the old loop's `continue`, which skipped the
+                    // end-of-iteration queue-peak update.
+                    return true;
                 }
                 c.sync_latent();
-                loss = Some(assess_loss(
+                self.loss = Some(assess_loss(
                     c.layout(),
                     c.marks(),
                     c.shadow(),
-                    &cfg.regions,
+                    &self.cfg.regions,
                     c.latent_errors(),
                     disk,
                     c.now,
                 ));
                 c.enter_degraded(disk);
-                let delay = opts.spare_delay.unwrap_or(cfg.faults.evict_spare_delay);
+                let delay = self
+                    .opts
+                    .spare_delay
+                    .unwrap_or(self.cfg.faults.evict_spare_delay);
                 c.events.schedule(c.now + delay, Ev::SpareInstalled);
             }
             other => c.handle(other),
         }
-        queue_peak = queue_peak.max(c.events.len());
+        self.queue_peak = self.queue_peak.max(self.c.events.len());
+        true
     }
 
-    let end = c.now.max(trace.end_time());
-    c.metrics.set_event_stats(events_processed, queue_peak);
-    RunResult {
-        metrics: c.metrics.clone().finish(end),
-        loss,
-        reprotected_at: c.reprotected_at,
-        rebuilt_at: c.rebuilt_at,
-        evicted_at: c.evicted_at,
-        end,
+    fn finish(mut self) -> RunResult {
+        let end = self.c.now.max(self.trace.end_time());
+        self.c
+            .metrics
+            .set_event_stats(self.events_processed, self.queue_peak);
+        RunResult {
+            metrics: self.c.metrics.clone().finish(end),
+            loss: self.loss,
+            reprotected_at: self.c.reprotected_at,
+            rebuilt_at: self.c.rebuilt_at,
+            evicted_at: self.c.evicted_at,
+            end,
+        }
+    }
+}
+
+/// Replays `trace` through an array configured by `cfg`.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the trace addresses
+/// space beyond the array's logical capacity.
+pub fn run_trace(cfg: &ArrayConfig, trace: &Trace, opts: &RunOptions) -> RunResult {
+    let mut run = TraceRun::new(cfg, trace, opts);
+    while run.step() {}
+    run.finish()
+}
+
+/// Replays `trace` but cuts the power after exactly `cut` processed
+/// events (or at natural drain, whichever comes first), returning the
+/// crash-durable state. A cut of 0 is a crash before any event.
+///
+/// # Panics
+///
+/// Panics if the configuration has no shadow model (`cfg.shadow` must
+/// be true: crash recovery is verified against it), if the
+/// configuration is invalid, or if the trace exceeds the array's
+/// capacity.
+pub fn run_to_cut(cfg: &ArrayConfig, trace: &Trace, opts: &RunOptions, cut: u64) -> CrashRun {
+    assert!(
+        cfg.shadow,
+        "run_to_cut needs cfg.shadow = true for recovery ground truth"
+    );
+    let mut run = TraceRun::new(cfg, trace, opts);
+    while run.events_processed < cut && run.step() {}
+    let image = CrashImage::capture(&run.c, run.events_processed)
+        .expect("shadow model present: checked above");
+    CrashRun {
+        image,
+        loss: run.loss,
+        events_processed: run.events_processed,
     }
 }

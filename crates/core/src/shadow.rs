@@ -17,6 +17,8 @@
 //! word — which is true exactly when the stripe's parity is
 //! consistent. Property tests in `faults` rely on this model.
 
+use std::collections::BTreeSet;
+
 use crate::layout::Layout;
 
 /// Per-unit content words for the whole array.
@@ -134,6 +136,50 @@ impl ShadowArray {
     /// The array layout.
     pub fn layout(&self) -> &Layout {
         &self.layout
+    }
+
+    /// Overwrites the raw unit word on `disk` in `stripe` — data or
+    /// parity alike, bypassing all parity maintenance. Crash recovery
+    /// uses this to scramble a dead disk's words before reconstructing
+    /// them (so the byte-check proves the rebuilt contents came from
+    /// the survivors, not from a stale copy) and to store the
+    /// reconstructed words back.
+    pub fn set_word(&mut self, stripe: u64, disk: u32, word: u64) {
+        let i = self.idx(stripe, disk);
+        self.words[i] = word;
+    }
+
+    /// Byte-check for crash recovery: the first *data* unit whose word
+    /// differs from `other`'s, as `(stripe, unit)`, skipping the units
+    /// in `skip` (the ones recovery declared lost). `None` means every
+    /// data unit outside `skip` is byte-identical — parity words are
+    /// deliberately not compared, because a recovery sweep rewrites
+    /// stale parity; [`ShadowArray::parity_consistent`] judges those.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two arrays have different layouts.
+    pub fn data_divergence(
+        &self,
+        other: &ShadowArray,
+        skip: &BTreeSet<(u64, u32)>,
+    ) -> Option<(u64, u32)> {
+        assert_eq!(
+            self.words.len(),
+            other.words.len(),
+            "shadow layout mismatch"
+        );
+        for stripe in 0..self.layout.stripes() {
+            for unit in 0..self.layout.data_units() {
+                if skip.contains(&(stripe, unit)) {
+                    continue;
+                }
+                if self.data_word(stripe, unit) != other.data_word(stripe, unit) {
+                    return Some((stripe, unit));
+                }
+            }
+        }
+        None
     }
 
     /// Verifies that a latent-error repair of `disk`'s unit in
@@ -256,6 +302,34 @@ mod tests {
             let d = s.layout().data_disk(3, unit);
             assert_ne!(d, pd);
         }
+    }
+
+    #[test]
+    fn data_divergence_finds_and_skips() {
+        let a = ShadowArray::new(layout());
+        let mut b = a.clone();
+        assert_eq!(a.data_divergence(&b, &BTreeSet::new()), None);
+        b.write_data(5, 2, 0xbad);
+        assert_eq!(a.data_divergence(&b, &BTreeSet::new()), Some((5, 2)));
+        let skip: BTreeSet<(u64, u32)> = [(5u64, 2u32)].into_iter().collect();
+        assert_eq!(a.data_divergence(&b, &skip), None);
+        // Parity divergence alone is not a data divergence.
+        let mut c = a.clone();
+        let pd = c.layout().parity_disk(9);
+        c.set_word(9, pd, 0xfeed);
+        assert_eq!(a.data_divergence(&c, &BTreeSet::new()), None);
+        assert!(!c.parity_consistent(9));
+    }
+
+    #[test]
+    fn set_word_bypasses_parity() {
+        let mut s = ShadowArray::new(layout());
+        let d = s.layout().data_disk(2, 0);
+        s.set_word(2, d, 0x1111);
+        assert_eq!(s.word(2, d), 0x1111);
+        assert!(!s.parity_consistent(2));
+        s.rebuild_parity(2);
+        assert!(s.parity_consistent(2));
     }
 
     #[test]

@@ -42,7 +42,7 @@ use baseline::AllowCounts;
 
 /// The deterministic crate set: results must be a pure function of
 /// explicit inputs everywhere in here.
-const DETERMINISTIC_CRATES: &[&str] = &["avail", "core", "disk", "exp", "sim", "trace"];
+const DETERMINISTIC_CRATES: &[&str] = &["avail", "chaos", "core", "disk", "exp", "sim", "trace"];
 
 /// Crates scanned with D1 switched off (they time real execution).
 const D1_EXEMPT_CRATES: &[&str] = &["bench"];

@@ -4,6 +4,7 @@
 //! afraid-cli run --workload snake --policy afraid --secs 600
 //! afraid-cli run --workload att --policy mttdl:1e8 --fail-disk 2@300 --degraded
 //! afraid-cli sweep --secs 120 --jobs 4
+//! afraid-cli chaos --scenario rebuild --cuts 500 --jobs 4
 //! afraid-cli workloads
 //! afraid-cli policies
 //! ```
@@ -13,6 +14,7 @@ use afraid::driver::{run_trace, RunOptions};
 use afraid::policy::ParityPolicy;
 use afraid::report::availability;
 use afraid_bench::harness;
+use afraid_chaos::Scenario;
 use afraid_exp::CellCache;
 use afraid_sim::time::{SimDuration, SimTime};
 use afraid_trace::workloads::{WorkloadKind, WorkloadSpec};
@@ -24,8 +26,27 @@ afraid-cli — AFRAID array simulator (Savage & Wilkes, USENIX 1996)
 USAGE:
     afraid-cli run [OPTIONS]     replay a synthetic workload
     afraid-cli sweep [OPTIONS]   run the full workload x policy matrix
+    afraid-cli chaos [OPTIONS]   crash the array at many cut points and
+                                 verify recovery at every one
     afraid-cli workloads         list workload presets
     afraid-cli policies          list parity policies
+
+CHAOS OPTIONS:
+    --scenario <name>     baseline | scrub | rebuild | evict | nvram |
+                          all (default: all)
+    --cuts <n>            cut points per scenario, spread evenly over
+                          the run (default: 256)
+    --secs <n>            simulated trace duration (default: 5; chaos
+                          replays the run once per cut, keep it short)
+    --seed <n>            workload seed (default: 42)
+    --jobs <n>            worker threads; verdicts are bit-identical at
+                          any job count (default: all cores)
+    --cache               replay memoised cut verdicts from
+                          target/cell-cache
+    --no-cache            disable the cell cache (default)
+    --json                emit per-scenario summaries as JSON; cache
+                          counters then go to stderr
+    exits nonzero if any cut fails recovery verification
 
 SWEEP OPTIONS:
     --secs <n>            simulated trace duration (default: 600)
@@ -73,6 +94,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
+        Some("chaos") => chaos(&args[1..]),
         Some("workloads") => {
             for kind in WorkloadKind::all() {
                 let spec = WorkloadSpec::preset(kind);
@@ -267,6 +289,140 @@ fn sweep(args: &[String]) -> ExitCode {
         println!("{}", c.stats().summary());
     }
     ExitCode::SUCCESS
+}
+
+fn chaos(args: &[String]) -> ExitCode {
+    let mut secs = 5u64;
+    let mut seed = 42u64;
+    let mut cuts_n = 256usize;
+    let mut jobs = afraid_exp::default_jobs();
+    let mut scenarios: Vec<Scenario> = Scenario::ALL.to_vec();
+    let mut use_cache = false;
+    let mut json = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> Option<String> {
+            let v = it.next().cloned();
+            if v.is_none() {
+                eprintln!("missing value for {what}");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--secs" => match value("--secs").and_then(|v| v.parse().ok()) {
+                Some(v) => secs = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--seed" => match value("--seed").and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--cuts" => match value("--cuts").and_then(|v| v.parse().ok()) {
+                Some(v) => cuts_n = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--jobs" => match value("--jobs").and_then(|v| v.parse().ok()) {
+                Some(v) => jobs = v,
+                None => return ExitCode::FAILURE,
+            },
+            "--scenario" => {
+                let Some(v) = value("--scenario") else {
+                    return ExitCode::FAILURE;
+                };
+                if v == "all" {
+                    scenarios = Scenario::ALL.to_vec();
+                } else {
+                    match Scenario::parse(&v) {
+                        Some(sc) => scenarios = vec![sc],
+                        None => {
+                            eprintln!(
+                                "unknown scenario '{v}' (want all {})",
+                                Scenario::ALL.map(|s| s.name()).join(" ")
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
+            "--cache" => use_cache = true,
+            "--no-cache" => use_cache = false,
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown option '{other}'");
+                eprint!("{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let duration = SimDuration::from_secs(secs);
+    let cache =
+        use_cache.then(|| CellCache::new(CellCache::default_dir(), afraid_chaos::CHAOS_SCHEMA));
+    let mut summaries = Vec::new();
+    for sc in &scenarios {
+        let spec = sc.spec(duration, seed);
+        let trace = spec.trace();
+        let total = spec.total_events(&trace);
+        let cuts = afraid_chaos::cut_points(total, cuts_n);
+        let verdicts = afraid_chaos::sweep(&spec, &trace, &cuts, jobs, cache.as_ref());
+        summaries.push(afraid_chaos::summarize(sc.name(), &verdicts));
+    }
+    let all_passed = summaries.iter().all(|s| s.failed == 0);
+
+    if json {
+        match serde_json::to_string_pretty(&summaries) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("serialisation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        // Counters go to stderr so cold and warm stdout stay
+        // byte-comparable (same convention as `sweep --json`).
+        if let Some(c) = &cache {
+            match serde_json::to_string(&c.stats()) {
+                Ok(s) => eprintln!("{s}"),
+                Err(e) => {
+                    eprintln!("cache stats serialisation failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    } else {
+        println!("Chaos: {secs}s traces, seed {seed}, jobs {jobs}, {cuts_n} cuts per scenario");
+        println!();
+        let header = format!(
+            "{:<9} {:>6} {:>6} {:>8} {:>8} {:>9} {:>9}",
+            "scenario", "cuts", "failed", "scrubbed", "reconst", "declared", "true-lost"
+        );
+        println!("{header}");
+        println!("{}", "-".repeat(header.len()));
+        for s in &summaries {
+            println!(
+                "{:<9} {:>6} {:>6} {:>8} {:>8} {:>9} {:>9}",
+                s.scenario,
+                s.cuts,
+                s.failed,
+                s.scrubbed,
+                s.reconstructed,
+                s.declared_lost_units,
+                s.truly_lost_units,
+            );
+            if let Some(f) = &s.first_failure {
+                println!("  FIRST FAILURE: {f}");
+            }
+        }
+        if let Some(c) = &cache {
+            println!();
+            println!("{}", c.stats().summary());
+        }
+    }
+    if all_passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn run(args: &[String]) -> ExitCode {

@@ -1,0 +1,160 @@
+//! Tier-1 chaos gate: crash at many event boundaries, recover from
+//! NVRAM + survivors, byte-check against the shadow model.
+//!
+//! These tests are the machine-checked form of the paper's
+//! availability argument: at *every* cut point, the marking memory
+//! plus the surviving disks reconstruct a fully redundant array that
+//! is byte-identical to the pre-crash contents outside the declared
+//! (and priced-in) loss set.
+
+use afraid_chaos::{cut_points, summarize, sweep, Scenario};
+use afraid_sim::time::SimDuration;
+
+const SEED: u64 = 42;
+
+/// Sweeps `n_cuts` evenly spread cuts of a `secs`-second trace and
+/// asserts every one recovered. Durations are per-scenario: each cut
+/// replays the simulation from event 0, so sweep cost is
+/// O(cuts × events) and the traces are kept short.
+fn assert_all_pass(scenario: Scenario, secs: u64, n_cuts: usize) -> afraid_chaos::SweepSummary {
+    let spec = scenario.spec(SimDuration::from_secs(secs), SEED);
+    let trace = spec.trace();
+    let total = spec.total_events(&trace);
+    assert!(
+        total > 100,
+        "{}: degenerate trace ({total} events)",
+        scenario.name()
+    );
+    let cuts = cut_points(total, n_cuts);
+    let verdicts = sweep(&spec, &trace, &cuts, 1, None);
+    let s = summarize(scenario.name(), &verdicts);
+    assert_eq!(
+        s.failed,
+        0,
+        "{}: {} of {} cuts failed; first: {:?}",
+        scenario.name(),
+        s.failed,
+        s.cuts,
+        s.first_failure
+    );
+    s
+}
+
+/// Power loss at evenly spread cuts of a bursty trace recovers
+/// byte-identically, and the sweep actually exercises stale parity
+/// (scrubbed stripes) and the mark-then-write window (spurious marks).
+#[test]
+fn baseline_power_loss_recovers_everywhere() {
+    let s = assert_all_pass(Scenario::Baseline, 2, 64);
+    assert!(s.scrubbed > 0, "no cut caught a stale stripe: {s:?}");
+}
+
+/// Crash during parity-scrub repair batches.
+#[test]
+fn crash_during_scrub_repair_recovers() {
+    let s = assert_all_pass(Scenario::ScrubRepair, 1, 64);
+    assert!(s.scrubbed > 0, "{s:?}");
+}
+
+/// Crash during the degraded window and the rebuild sweep: recovery
+/// reconstructs the dead disk's units from the survivors.
+#[test]
+fn crash_during_rebuild_recovers() {
+    let s = assert_all_pass(Scenario::Rebuild, 1, 64);
+    assert!(
+        s.reconstructed > 0,
+        "no cut landed in the degraded window: {s:?}"
+    );
+}
+
+/// Crash during the sick-disk eviction drain (and the post-eviction
+/// rebuild).
+#[test]
+fn crash_during_eviction_drain_recovers() {
+    let s = assert_all_pass(Scenario::EvictionDrain, 1, 64);
+    assert!(
+        s.reconstructed > 0,
+        "no cut landed after the eviction: {s:?}"
+    );
+}
+
+/// The crash destroys the NVRAM and a disk together: recovery must
+/// *detect* the truly unrecoverable stripes (declare them lost), never
+/// silently reconstruct garbage — and the sweep must actually contain
+/// such cuts, or the test proves nothing.
+#[test]
+fn nvram_loss_detects_unrecoverable_stripes() {
+    let s = assert_all_pass(Scenario::NvramLoss, 2, 64);
+    assert!(
+        s.cuts_with_true_loss > 0,
+        "no cut had truly-lost units; the detection path was never exercised: {s:?}"
+    );
+    assert!(
+        s.declared_lost_units >= s.truly_lost_units,
+        "recovery declared less than the truth: {s:?}"
+    );
+    assert!(s.cuts_with_declared_loss >= s.cuts_with_true_loss, "{s:?}");
+}
+
+/// The acceptance sweep: ≥1000 cut points per trace across the three
+/// crash scenarios, every one recovering byte-identically.
+#[test]
+fn thousand_cut_acceptance_sweep() {
+    for (scenario, secs) in [
+        (Scenario::Rebuild, 5),
+        (Scenario::ScrubRepair, 5),
+        (Scenario::EvictionDrain, 10),
+    ] {
+        let spec = scenario.spec(SimDuration::from_secs(secs), SEED);
+        let trace = spec.trace();
+        let total = spec.total_events(&trace);
+        let cuts = cut_points(total, 1000);
+        let jobs = afraid_exp::default_jobs();
+        let verdicts = sweep(&spec, &trace, &cuts, jobs, None);
+        let s = summarize(scenario.name(), &verdicts);
+        assert!(
+            s.cuts >= 1000,
+            "{}: only {} distinct cuts",
+            scenario.name(),
+            s.cuts
+        );
+        assert_eq!(
+            s.failed,
+            0,
+            "{}: {} of {} cuts failed; first: {:?}",
+            scenario.name(),
+            s.failed,
+            s.cuts,
+            s.first_failure
+        );
+    }
+}
+
+/// Verdicts are a pure function of the cut coordinate: a jobs=1 and a
+/// jobs=4 sweep serialize byte-identically.
+#[test]
+fn sweep_is_bit_identical_across_jobs() {
+    let spec = Scenario::Rebuild.spec(SimDuration::from_secs(1), SEED);
+    let trace = spec.trace();
+    let total = spec.total_events(&trace);
+    let cuts = cut_points(total, 48);
+    let seq = sweep(&spec, &trace, &cuts, 1, None);
+    let par = sweep(&spec, &trace, &cuts, 4, None);
+    let a = serde_json::to_string(&seq).unwrap();
+    let b = serde_json::to_string(&par).unwrap();
+    assert_eq!(a, b, "jobs=1 vs jobs=4 sweeps diverged");
+}
+
+/// A cut past the natural end of the run is a crash of a quiesced
+/// array: nothing marked, nothing lost, trivially recoverable.
+#[test]
+fn cut_beyond_drain_is_quiescent() {
+    let spec = Scenario::Baseline.spec(SimDuration::from_secs(2), SEED);
+    let trace = spec.trace();
+    let total = spec.total_events(&trace);
+    let v = spec.run_cut(&trace, total + 10_000);
+    assert!(v.pass, "{:?}", v.failure);
+    assert_eq!(v.events_at_cut, total);
+    assert_eq!(v.marked, 0, "drained run left dirty stripes");
+    assert_eq!(v.declared_lost, 0);
+}
