@@ -25,13 +25,15 @@ pub mod power;
 pub mod report;
 pub mod support;
 
-pub use mdlr::{mdlr_afraid, mdlr_evict, mdlr_raid0, mdlr_raid5_catastrophic, mdlr_unprotected};
+pub use mdlr::{
+    mdlr_afraid, mdlr_corrupt, mdlr_evict, mdlr_raid0, mdlr_raid5_catastrophic, mdlr_unprotected,
+};
 pub use mttdl::{
-    combine, mttdl_afraid, mttdl_afraid_raid_part, mttdl_afraid_unprotected, mttdl_evict,
-    mttdl_raid0, mttdl_raid5_catastrophic,
+    combine, mttdl_afraid, mttdl_afraid_raid_part, mttdl_afraid_unprotected, mttdl_corrupt,
+    mttdl_evict, mttdl_raid0, mttdl_raid5_catastrophic,
 };
 pub use params::ModelParams;
-pub use report::{AvailabilityReport, DesignKind, EvictionExposure};
+pub use report::{AvailabilityReport, CorruptionExposure, DesignKind, EvictionExposure};
 
 /// Hours, the paper's time unit for reliability quantities.
 pub type Hours = f64;

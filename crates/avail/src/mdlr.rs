@@ -1,6 +1,8 @@
 //! Mean data loss rate (paper §3.2, equations 3–5).
 
-use crate::mttdl::{mttdl_evict, mttdl_latent, mttdl_raid0, mttdl_raid5_catastrophic};
+use crate::mttdl::{
+    mttdl_corrupt, mttdl_evict, mttdl_latent, mttdl_raid0, mttdl_raid5_catastrophic,
+};
 use crate::params::ModelParams;
 use crate::{BytesPerHour, Hours};
 
@@ -84,6 +86,19 @@ pub fn mdlr_evict(
         return 0.0;
     }
     params.disk_bytes as f64 / mttdl
+}
+
+/// MDLR of the silent-corruption loss mode: each unrepairable
+/// corruption costs roughly one stripe unit (the rotted data unit).
+/// The event rate is `1/MTTDL_corrupt` (see
+/// [`mttdl_corrupt`](crate::mttdl::mttdl_corrupt)). Zero when the
+/// corruption term is infinite.
+pub fn mdlr_corrupt(params: &ModelParams, rate_per_hour: f64, p_unrepairable: f64) -> BytesPerHour {
+    let mttdl = mttdl_corrupt(rate_per_hour, p_unrepairable);
+    if mttdl.is_infinite() {
+        return 0.0;
+    }
+    params.stripe_unit as f64 / mttdl
 }
 
 /// MDLR contributed by support components: losing the array loses all

@@ -188,6 +188,46 @@ pub fn mttdl_evict(params: &ModelParams, n: u32, rate_per_hour: f64, window_hour
     1.0 / rate
 }
 
+/// Silent-corruption loss mode: a disk that acknowledges a write while
+/// storing the wrong bytes loses data *directly* — no second failure
+/// required. With end-to-end checksums the corruption is caught on the
+/// next verified read or scrub pass, and fresh parity regenerates the
+/// bytes exactly; what remains is the fraction that surfaces while the
+/// stripe's parity is deferred (or laundered), which can only be
+/// declared.
+///
+/// ```text
+/// MTTDL_corrupt = 1 / (λ_corrupt · p_unrepairable)
+/// ```
+///
+/// where `λ_corrupt` is the array-wide silent-fault arrival rate (per
+/// hour) and `p_unrepairable` the probability a corruption cannot be
+/// regenerated from redundancy — measured as the declared fraction of
+/// detections under verification, and 1 for an array that never
+/// verifies (every corruption eventually reaches a client). Returns
+/// infinity when either factor is zero: honest disks, or an array that
+/// repairs everything it finds, pay nothing.
+///
+/// # Panics
+///
+/// Panics if `rate_per_hour` or `p_unrepairable` is negative, `NaN`,
+/// or (for the probability) above 1.
+pub fn mttdl_corrupt(rate_per_hour: f64, p_unrepairable: f64) -> Hours {
+    assert!(
+        rate_per_hour >= 0.0 && !rate_per_hour.is_nan(),
+        "corruption rate out of range: {rate_per_hour}"
+    );
+    assert!(
+        (0.0..=1.0).contains(&p_unrepairable),
+        "unrepairable probability out of range: {p_unrepairable}"
+    );
+    let rate = rate_per_hour * p_unrepairable;
+    if rate == 0.0 {
+        return f64::INFINITY;
+    }
+    1.0 / rate
+}
+
 /// Harmonically combines independent MTTDL contributions (failure
 /// rates add). Infinite contributions are no-ops; an empty slice is
 /// infinitely reliable.

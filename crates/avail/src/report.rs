@@ -8,10 +8,12 @@
 use serde::{Deserialize, Serialize};
 
 use crate::mdlr::{
-    mdlr_evict, mdlr_latent, mdlr_raid0, mdlr_raid5_catastrophic, mdlr_support, mdlr_unprotected,
+    mdlr_corrupt, mdlr_evict, mdlr_latent, mdlr_raid0, mdlr_raid5_catastrophic, mdlr_support,
+    mdlr_unprotected,
 };
 use crate::mttdl::{
-    combine, mttdl_afraid, mttdl_evict, mttdl_latent, mttdl_raid0, mttdl_raid5_catastrophic,
+    combine, mttdl_afraid, mttdl_corrupt, mttdl_evict, mttdl_latent, mttdl_raid0,
+    mttdl_raid5_catastrophic,
 };
 use crate::params::ModelParams;
 use crate::{BytesPerHour, Hours};
@@ -37,6 +39,18 @@ pub struct EvictionExposure {
     pub rate_per_hour: f64,
     /// Mean hours an eviction's degraded window stays open.
     pub window_hours: f64,
+}
+
+/// Silent-corruption exposure inputs for the availability model: how
+/// often disks lie, and how often a lie cannot be undone.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CorruptionExposure {
+    /// Array-wide silent-fault arrival rate, per hour.
+    pub rate_per_hour: f64,
+    /// Probability a corruption is unrepairable when it surfaces —
+    /// the measured declared fraction of detections under
+    /// verification, or 1 for an array that never verifies.
+    pub p_unrepairable: f64,
 }
 
 /// Which array design a report describes.
@@ -83,6 +97,11 @@ pub struct AvailabilityReport {
     pub mttdl_evict: Hours,
     /// MDLR of the proactive-eviction mode alone, bytes/hour.
     pub mdlr_evict: BytesPerHour,
+    /// MTTDL of the silent-corruption mode alone, hours (infinite
+    /// when no corruption exposure was supplied).
+    pub mttdl_corrupt: Hours,
+    /// MDLR of the silent-corruption mode alone, bytes/hour.
+    pub mdlr_corrupt: BytesPerHour,
 }
 
 impl AvailabilityReport {
@@ -161,6 +180,41 @@ impl AvailabilityReport {
         latent: Option<LatentExposure>,
         evict: Option<EvictionExposure>,
     ) -> AvailabilityReport {
+        Self::build_with_corruption(
+            design,
+            params,
+            n_data,
+            frac_unprotected,
+            mean_parity_lag,
+            latent,
+            evict,
+            None,
+        )
+    }
+
+    /// Like [`build_with_exposures`](Self::build_with_exposures),
+    /// additionally folding a silent-corruption exposure — disks that
+    /// acknowledge writes while storing the wrong bytes — into the
+    /// disk-related figures.
+    ///
+    /// Corruption applies to the parity designs only: RAID 0's
+    /// single-failure story already prices every disk defect as a
+    /// total loss, so a separate lying-disk term would double-count.
+    ///
+    /// # Panics
+    ///
+    /// As [`build`](Self::build).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_corruption(
+        design: DesignKind,
+        params: &ModelParams,
+        n_data: u32,
+        frac_unprotected: f64,
+        mean_parity_lag: f64,
+        latent: Option<LatentExposure>,
+        evict: Option<EvictionExposure>,
+        corrupt: Option<CorruptionExposure>,
+    ) -> AvailabilityReport {
         let disks = n_data + 1;
         let (mttdl_disk, mdlr_disk, mdlr_unprot, frac, lag) = match design {
             DesignKind::Raid0 => {
@@ -205,13 +259,20 @@ impl AvailabilityReport {
                 mdlr_evict(params, n_data, e.rate_per_hour, e.window_hours),
             ),
         };
+        let (mttdl_cor, mdlr_cor) = match (design, corrupt) {
+            (DesignKind::Raid0, _) | (_, None) => (f64::INFINITY, 0.0),
+            (_, Some(c)) => (
+                mttdl_corrupt(c.rate_per_hour, c.p_unrepairable),
+                mdlr_corrupt(params, c.rate_per_hour, c.p_unrepairable),
+            ),
+        };
         let mut mttdl_disk = mttdl_disk;
-        for extra in [mttdl_lat, mttdl_ev] {
+        for extra in [mttdl_lat, mttdl_ev, mttdl_cor] {
             if extra.is_finite() {
                 mttdl_disk = combine(&[mttdl_disk, extra]);
             }
         }
-        let mdlr_disk = mdlr_disk + mdlr_lat + mdlr_ev;
+        let mdlr_disk = mdlr_disk + mdlr_lat + mdlr_ev + mdlr_cor;
         let mttdl_overall = combine(&[mttdl_disk, params.mttdl_support]);
         let mdlr_overall = mdlr_disk + mdlr_support(params, n_data, params.mttdl_support);
         AvailabilityReport {
@@ -228,6 +289,8 @@ impl AvailabilityReport {
             mdlr_latent: mdlr_lat,
             mttdl_evict: mttdl_ev,
             mdlr_evict: mdlr_ev,
+            mttdl_corrupt: mttdl_cor,
+            mdlr_corrupt: mdlr_cor,
         }
     }
 }
@@ -386,6 +449,69 @@ mod tests {
         );
         assert_eq!(r.mttdl_evict, f64::INFINITY);
         assert_eq!(r.mdlr_evict, 0.0);
+    }
+
+    #[test]
+    fn corruption_exposure_degrades_the_disk_figures() {
+        let clean = AvailabilityReport::build(DesignKind::Afraid, &p(), 4, 0.05, 0.0);
+        let exposed = AvailabilityReport::build_with_corruption(
+            DesignKind::Afraid,
+            &p(),
+            4,
+            0.05,
+            0.0,
+            None,
+            None,
+            Some(CorruptionExposure {
+                rate_per_hour: 1e-2,
+                p_unrepairable: 0.3,
+            }),
+        );
+        assert!(exposed.mttdl_corrupt.is_finite());
+        assert!(exposed.mttdl_disk < clean.mttdl_disk);
+        assert!(exposed.mdlr_disk > clean.mdlr_disk);
+        assert_eq!(clean.mttdl_corrupt, f64::INFINITY);
+        assert_eq!(clean.mdlr_corrupt, 0.0);
+    }
+
+    #[test]
+    fn fully_repairing_verification_pays_nothing() {
+        // Everything detected is repaired: p_unrepairable 0 and the
+        // corruption term vanishes however fast the disks lie.
+        let r = AvailabilityReport::build_with_corruption(
+            DesignKind::Raid5,
+            &p(),
+            4,
+            0.0,
+            0.0,
+            None,
+            None,
+            Some(CorruptionExposure {
+                rate_per_hour: 100.0,
+                p_unrepairable: 0.0,
+            }),
+        );
+        assert_eq!(r.mttdl_corrupt, f64::INFINITY);
+        assert_eq!(r.mdlr_corrupt, 0.0);
+    }
+
+    #[test]
+    fn raid0_ignores_corruption_exposure() {
+        let r = AvailabilityReport::build_with_corruption(
+            DesignKind::Raid0,
+            &p(),
+            4,
+            0.0,
+            0.0,
+            None,
+            None,
+            Some(CorruptionExposure {
+                rate_per_hour: 1.0,
+                p_unrepairable: 1.0,
+            }),
+        );
+        assert_eq!(r.mttdl_corrupt, f64::INFINITY);
+        assert_eq!(r.mdlr_corrupt, 0.0);
     }
 
     #[test]

@@ -108,7 +108,7 @@ fn main() -> ExitCode {
     );
     println!();
     let header = format!(
-        "{:<9} {:>7} {:>6} {:>6} {:>8} {:>9} {:>8} {:>9} {:>9} {:>8}",
+        "{:<9} {:>7} {:>6} {:>6} {:>8} {:>9} {:>8} {:>9} {:>9} {:>8} {:>8} {:>8}",
         "scenario",
         "events",
         "cuts",
@@ -118,6 +118,8 @@ fn main() -> ExitCode {
         "reconst",
         "declared",
         "true-lost",
+        "crpt-rep",
+        "crpt-dec",
         "wall s"
     );
     println!("{header}");
@@ -136,7 +138,7 @@ fn main() -> ExitCode {
         let wall = t1.elapsed().as_secs_f64();
         let s = summarize(sc.name(), &verdicts);
         println!(
-            "{:<9} {:>7} {:>6} {:>6} {:>8} {:>9} {:>8} {:>9} {:>9} {:>8.2}",
+            "{:<9} {:>7} {:>6} {:>6} {:>8} {:>9} {:>8} {:>9} {:>9} {:>8} {:>8} {:>8.2}",
             s.scenario,
             total,
             s.cuts,
@@ -146,6 +148,8 @@ fn main() -> ExitCode {
             s.reconstructed,
             s.declared_lost_units,
             s.truly_lost_units,
+            s.corrupt_repaired,
+            s.corrupt_declared,
             wall,
         );
         if s.failed > 0 {

@@ -33,7 +33,8 @@ pub const DEFAULT_DURATION_SECS: u64 = 600;
 /// Schema tag baked into every cache key and entry. Bump whenever the
 /// serialized shape of [`RunResult`] (or anything feeding it) changes
 /// in a way the crate version does not capture.
-pub const RESULT_SCHEMA: &str = "afraid-cell-v1";
+/// v2: `RunMetrics` gained the integrity-counter block.
+pub const RESULT_SCHEMA: &str = "afraid-cell-v2";
 
 /// Parsed common bench arguments.
 pub struct BenchArgs {

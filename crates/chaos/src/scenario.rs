@@ -39,16 +39,23 @@ pub enum Scenario {
     /// conservatively declare every suspect unit rather than silently
     /// pass the truly-stale ones.
     NvramLoss,
+    /// Power loss while disks are *lying*: torn, lost, and misdirected
+    /// writes plus read bit-flips, with verify-on-read and checksum
+    /// scrubs hunting them. Cuts land with live rot in every stage of
+    /// disposition; recovery's power-on cross-check must finish the
+    /// job (invariant 5).
+    Corruption,
 }
 
 impl Scenario {
     /// Every scenario, in reporting order.
-    pub const ALL: [Scenario; 5] = [
+    pub const ALL: [Scenario; 6] = [
         Scenario::Baseline,
         Scenario::ScrubRepair,
         Scenario::Rebuild,
         Scenario::EvictionDrain,
         Scenario::NvramLoss,
+        Scenario::Corruption,
     ];
 
     /// Stable name used in CLI flags, cache keys, and reports.
@@ -59,6 +66,7 @@ impl Scenario {
             Scenario::Rebuild => "rebuild",
             Scenario::EvictionDrain => "evict",
             Scenario::NvramLoss => "nvram",
+            Scenario::Corruption => "corrupt",
         }
     }
 
@@ -113,6 +121,23 @@ impl Scenario {
                 kill_disk_at_cut = Some(2);
                 kill_nvram_at_cut = true;
             }
+            Scenario::Corruption => {
+                // Silent-fault rates high enough that most cuts land
+                // with live rot mid-disposition somewhere, under a
+                // write-heavy trace; eager scrubbing keeps both the
+                // verify-on-read and checksum-scrub paths hot. Cuts
+                // are plain power losses — the interesting crash state
+                // is the corruption registry itself.
+                cfg.integrity.bit_flip_per_read = 5e-3;
+                cfg.integrity.torn_write_per_io = 3e-2;
+                cfg.integrity.lost_write_per_io = 3e-2;
+                cfg.integrity.misdirected_write_per_io = 2e-2;
+                cfg.integrity.verify_reads = true;
+                cfg.integrity.verify_scrub = true;
+                cfg.scrub.enabled = true;
+                cfg.scrub_batch = 4;
+                cfg.idle_delay = SimDuration::from_millis(20);
+            }
         }
         ChaosSpec {
             scenario: self,
@@ -157,10 +182,16 @@ impl ChaosSpec {
             Scenario::Baseline | Scenario::NvramLoss => WorkloadSpec::preset(WorkloadKind::Hplajw)
                 .generate(CHAOS_CAPACITY, self.duration, self.seed),
             // The denser write-heavy trace where the crash interacts
-            // with background machinery: scrub batches and the
-            // degraded/rebuild window both need steady traffic.
-            Scenario::ScrubRepair | Scenario::Rebuild => WorkloadSpec::preset(WorkloadKind::Att)
-                .generate(CHAOS_CAPACITY, self.duration, self.seed),
+            // with background machinery: scrub batches, the degraded/
+            // rebuild window, and silent-fault injection (a per-write
+            // draw) all need steady traffic.
+            Scenario::ScrubRepair | Scenario::Rebuild | Scenario::Corruption => {
+                WorkloadSpec::preset(WorkloadKind::Att).generate(
+                    CHAOS_CAPACITY,
+                    self.duration,
+                    self.seed,
+                )
+            }
             // The eviction drain needs a steady request stream so the
             // limping disk keeps timing out: a fixed-cadence synthetic
             // trace, write-heavy, striding across the address space.

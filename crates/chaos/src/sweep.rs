@@ -14,7 +14,9 @@ use crate::verdict::CutVerdict;
 
 /// Cache schema tag for chaos cut cells. Bump when the verdict shape
 /// or the recovery semantics change.
-pub const CHAOS_SCHEMA: &str = "afraid-chaos-cut-v1";
+/// v2: silent-corruption injection, the power-on checksum cross-check,
+/// and the corruption fields in [`CutVerdict`].
+pub const CHAOS_SCHEMA: &str = "afraid-chaos-cut-v2";
 
 /// `n` cut points spread evenly over `[1, total_events]`, deduplicated
 /// and sorted. Cut 0 (crash before any event) is always included: the
@@ -78,7 +80,7 @@ pub struct SweepSummary {
     pub scenario: String,
     /// Cut points judged.
     pub cuts: u64,
-    /// Cuts where all four invariants held.
+    /// Cuts where all five invariants held.
     pub passed: u64,
     /// Cuts with a violated invariant (first failure quoted).
     pub failed: u64,
@@ -98,6 +100,17 @@ pub struct SweepSummary {
     pub spurious_marks: u64,
     /// Total dead-disk units reconstructed from survivors.
     pub reconstructed: u64,
+    /// Cuts caught with at least one undispositioned corruption live
+    /// in the registry.
+    pub cuts_with_live_corruption: u64,
+    /// Total corruptions repaired byte-exactly by the power-on
+    /// cross-check, across all cuts.
+    pub corrupt_repaired: u64,
+    /// Total corruptions the power-on cross-check declared lost.
+    pub corrupt_declared: u64,
+    /// Total silent reads (corrupt data served without detection)
+    /// before the cut. Zero whenever verify-on-read is enabled.
+    pub silent_reads: u64,
 }
 
 /// Folds a sweep's verdicts into a summary row.
@@ -115,6 +128,10 @@ pub fn summarize(scenario: &str, verdicts: &[CutVerdict]) -> SweepSummary {
         scrubbed: 0,
         spurious_marks: 0,
         reconstructed: 0,
+        cuts_with_live_corruption: 0,
+        corrupt_repaired: 0,
+        corrupt_declared: 0,
+        silent_reads: 0,
     };
     for v in verdicts {
         if v.pass {
@@ -136,6 +153,12 @@ pub fn summarize(scenario: &str, verdicts: &[CutVerdict]) -> SweepSummary {
         s.scrubbed += v.scrubbed;
         s.spurious_marks += v.spurious_marks;
         s.reconstructed += v.reconstructed;
+        if v.corrupt_live_at_cut > 0 {
+            s.cuts_with_live_corruption += 1;
+        }
+        s.corrupt_repaired += v.corrupt_repaired;
+        s.corrupt_declared += v.corrupt_declared;
+        s.silent_reads += v.silent_reads;
     }
     s
 }

@@ -2,7 +2,7 @@
 //!
 //! Given the crash image (ground truth), the recovery outcome, and the
 //! in-run loss report (units a mid-run disk failure already cost,
-//! before the crash), [`judge`] enforces four invariants:
+//! before the crash), [`judge`] enforces five invariants:
 //!
 //! 1. **No silent loss.** Every unit whose reconstruction is truly
 //!    wrong at the cut (stale parity XOR ≠ the dead disk's real
@@ -18,7 +18,18 @@
 //! 4. **No write hole.** Without a dead disk, every *unmarked* stripe
 //!    must already be parity-consistent at the cut — the mark-then-
 //!    write ordering guarantees a crash can leave spuriously dirty
-//!    stripes, never silently stale clean ones.
+//!    stripes, never silently stale clean ones. Stripes carrying a
+//!    live *injected* silent corruption are exempt: a lying disk
+//!    breaks the XOR identity without a mark by design, and the
+//!    checksum layer (invariant 5), not the marking memory, owns
+//!    those.
+//! 5. **No silent corruption survives a verified read.** When the run
+//!    carried the integrity subsystem: no read before the cut
+//!    returned wrong bytes undetected, the checksum layer reported no
+//!    false positives, and after recovery every data unit verifies
+//!    against its checksum — each injected corruption was either
+//!    repaired byte-exactly, declared (absorbed and ledgered), or
+//!    overwritten by the client before anything could read it.
 //!
 //! Over-declaration (declared lost but actually reconstructable) is
 //! allowed and counted: it is the price of conservative recovery after
@@ -66,7 +77,15 @@ pub struct CutVerdict {
     /// Units lost when a disk failed mid-run (reported then, not
     /// recovery's debt).
     pub lost_at_failure: u64,
-    /// All four invariants held.
+    /// Live (injected, unresolved) silent corruptions at the cut.
+    pub corrupt_live_at_cut: u64,
+    /// Corruptions the power-on cross-check repaired byte-exactly.
+    pub corrupt_repaired: u64,
+    /// Corruptions recovery detected but had to declare.
+    pub corrupt_declared: u64,
+    /// Reads that returned wrong bytes undetected before the cut.
+    pub silent_reads: u64,
+    /// All five invariants held.
     pub pass: bool,
     /// First violated invariant, when `pass` is false.
     pub failure: Option<String>,
@@ -82,6 +101,26 @@ pub fn judge(
     let layout = *image.shadow.layout();
     let mut failure: Option<String> = None;
 
+    // Corruption bookkeeping, when the run carried the integrity
+    // subsystem. Live-corrupt units diverge from the client's intent
+    // by injected design; recovery's disposition of them is judged by
+    // invariant 5's checksum sweep, not byte identity.
+    let live_corrupt: BTreeSet<(u64, u32)> = image
+        .integrity
+        .as_ref()
+        .map(|int| {
+            int.live_corrupt()
+                .into_iter()
+                .map(|(s, u, _)| (s, u))
+                .collect()
+        })
+        .unwrap_or_default();
+    let corrupt_declared: BTreeSet<(u64, u32)> = outcome
+        .corrupt_declared
+        .iter()
+        .map(|l| (l.stripe, l.unit))
+        .collect();
+
     // Ground truth: units on the dead disk whose reconstruction value
     // (XOR of survivors) differs from what the disk really held.
     let mut truly: BTreeSet<(u64, u32)> = BTreeSet::new();
@@ -94,6 +133,15 @@ pub fn judge(
                 let unit = (0..layout.data_units())
                     .find(|&u| layout.data_disk(stripe, u) == f)
                     .expect("non-parity disk holds a data unit");
+                // A dead unit whose XOR candidate checksums back to
+                // the client's intent was corrupt *on the platter* and
+                // healed by the reconstruction — better than what the
+                // disk held, not a loss.
+                if image.integrity.as_ref().is_some_and(|int| {
+                    int.verify(stripe, unit, image.shadow.xor_survivors(stripe, f))
+                }) {
+                    continue;
+                }
                 truly.insert((stripe, unit));
             }
         }
@@ -104,8 +152,13 @@ pub fn judge(
         .map(|l| (l.stripe, l.unit))
         .collect();
 
-    // 1. No silent loss.
-    if let Some(&(s, u)) = truly.difference(&declared).next() {
+    // 1. No silent loss. A unit recovery dispositioned through the
+    // corruption path (detected, declared, absorbed) was reported,
+    // just in the other ledger.
+    if let Some(&(s, u)) = truly
+        .difference(&declared)
+        .find(|su| !corrupt_declared.contains(su))
+    {
         failure = Some(format!(
             "silent loss: stripe {s} unit {u} is unrecoverable but was not declared lost"
         ));
@@ -119,18 +172,30 @@ pub fn judge(
     // data on survivors — harmless — or reconstructs wrongly, which
     // invariant 1 catches as undeclared loss.)
     if failure.is_none() && image.failed_disk.is_none() {
-        if let Some(s) = (0..layout.stripes())
-            .find(|&s| !image.marks.is_marked(s) && !image.shadow.parity_consistent(s))
-        {
+        if let Some(s) = (0..layout.stripes()).find(|&s| {
+            !image.marks.is_marked(s)
+                && !image.shadow.parity_consistent(s)
+                && !image
+                    .integrity
+                    .as_ref()
+                    .is_some_and(|int| int.stripe_corrupt(s))
+        }) {
             failure = Some(format!(
                 "write hole: stripe {s} is unmarked but parity-inconsistent at the cut"
             ));
         }
     }
 
-    // 2. Byte identity outside the declared-lost set.
+    // 2. Byte identity outside the declared-lost and corruption-
+    // touched sets. Live-corrupt units legitimately change bytes
+    // during recovery (a repair restores the intent the platter never
+    // held); invariant 5 checks them against the stronger ground
+    // truth — the checksum of the client's last write.
     if failure.is_none() {
-        if let Some((s, u)) = outcome.shadow.data_divergence(&image.shadow, &declared) {
+        let mut skip = declared.clone();
+        skip.extend(corrupt_declared.iter().copied());
+        skip.extend(live_corrupt.iter().copied());
+        if let Some((s, u)) = outcome.shadow.data_divergence(&image.shadow, &skip) {
             failure = Some(format!(
                 "corruption: recovered stripe {s} unit {u} diverges from pre-crash contents"
             ));
@@ -146,6 +211,33 @@ pub fn judge(
                 "{} stripes left marked after recovery",
                 outcome.marks.marked_count()
             ));
+        }
+    }
+
+    // 5. No silent corruption survives a verified read: none before
+    // the cut, no checksum false alarms, and none after recovery.
+    if failure.is_none() {
+        if let Some(int) = &image.integrity {
+            if int.counters.silent_reads != 0 {
+                failure = Some(format!(
+                    "{} reads returned wrong bytes undetected before the cut",
+                    int.counters.silent_reads
+                ));
+            } else if int.counters.false_positives != 0 {
+                failure = Some(format!(
+                    "{} checksum mismatches with no injected fault behind them",
+                    int.counters.false_positives
+                ));
+            }
+        }
+    }
+    if failure.is_none() {
+        if let Some(int) = &outcome.integrity {
+            if let Some((s, u)) = int.divergence(&outcome.shadow, &BTreeSet::new()) {
+                failure = Some(format!(
+                    "silent corruption survives recovery: stripe {s} unit {u} fails its checksum"
+                ));
+            }
         }
     }
 
@@ -165,6 +257,13 @@ pub fn judge(
         truly_lost: truly.len() as u64,
         over_declared: over,
         lost_at_failure: loss_at_failure.map_or(0, |l| l.lost_units),
+        corrupt_live_at_cut: live_corrupt.len() as u64,
+        corrupt_repaired: outcome.corrupt_repaired,
+        corrupt_declared: corrupt_declared.len() as u64,
+        silent_reads: image
+            .integrity
+            .as_ref()
+            .map_or(0, |int| int.counters.silent_reads),
         pass: failure.is_none(),
         failure,
     }
@@ -185,6 +284,7 @@ mod tests {
             shadow: ShadowArray::new(layout),
             failed_disk: None,
             scarred: Vec::new(),
+            integrity: None,
             nvram_failed: false,
             at: SimTime::ZERO,
             events_processed: 0,

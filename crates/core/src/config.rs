@@ -52,6 +52,8 @@ pub struct ArrayConfig {
     pub scrub: ScrubConfig,
     /// Transient-fault injection and retry/eviction knobs.
     pub faults: FaultConfig,
+    /// Silent-corruption injection and checksum verification knobs.
+    pub integrity: IntegrityConfig,
 }
 
 /// Configuration of the latent sector error process and the
@@ -147,6 +149,66 @@ impl FaultConfig {
     }
 }
 
+/// Silent-corruption injection rates and the checksum layer's policy
+/// knobs (see [`crate::integrity`]).
+///
+/// The default is fully *inactive*: no corruption is injected, no
+/// checksum state is built, no random numbers are drawn — a run with
+/// the default `IntegrityConfig` is bit-identical to one from before
+/// the subsystem existed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IntegrityConfig {
+    /// Probability one client read of a unit returns flipped bits
+    /// (transient: the platter stays correct).
+    pub bit_flip_per_read: f64,
+    /// Probability one unit write persists only part of its payload.
+    pub torn_write_per_io: f64,
+    /// Probability one unit write is acknowledged but never persisted.
+    pub lost_write_per_io: f64,
+    /// Probability one unit write lands on a neighbouring unit of the
+    /// same disk instead of its target.
+    pub misdirected_write_per_io: f64,
+    /// Verify every client read against the per-unit checksum map and
+    /// repair (or declare) mismatches.
+    pub verify_reads: bool,
+    /// Verify checksums during scrub batches and scrub tours, *before*
+    /// parity is rebuilt — otherwise a scrub would launder corruption
+    /// into freshly consistent parity.
+    pub verify_scrub: bool,
+    /// Master seed for the per-disk silent-fault streams.
+    pub seed: u64,
+}
+
+impl IntegrityConfig {
+    /// True when any silent corruption is being injected.
+    pub fn injecting(&self) -> bool {
+        self.bit_flip_per_read > 0.0
+            || self.torn_write_per_io > 0.0
+            || self.lost_write_per_io > 0.0
+            || self.misdirected_write_per_io > 0.0
+    }
+
+    /// True when the integrity subsystem needs to be built at all:
+    /// either corruption is injected or some verification is on.
+    pub fn active(&self) -> bool {
+        self.injecting() || self.verify_reads || self.verify_scrub
+    }
+}
+
+impl Default for IntegrityConfig {
+    fn default() -> Self {
+        IntegrityConfig {
+            bit_flip_per_read: 0.0,
+            torn_write_per_io: 0.0,
+            lost_write_per_io: 0.0,
+            misdirected_write_per_io: 0.0,
+            verify_reads: false,
+            verify_scrub: false,
+            seed: 0xc044_5eed,
+        }
+    }
+}
+
 impl Default for FaultConfig {
     fn default() -> Self {
         FaultConfig {
@@ -184,6 +246,7 @@ impl ArrayConfig {
             regions: RegionMap::none(),
             scrub: ScrubConfig::default(),
             faults: FaultConfig::default(),
+            integrity: IntegrityConfig::default(),
         }
     }
 
@@ -206,6 +269,7 @@ impl ArrayConfig {
             regions: RegionMap::none(),
             scrub: ScrubConfig::default(),
             faults: FaultConfig::default(),
+            integrity: IntegrityConfig::default(),
         }
     }
 
@@ -318,6 +382,23 @@ impl ArrayConfig {
                 return Err("fail-slow duration must be positive".to_string());
             }
         }
+        let i = &self.integrity;
+        for (name, p) in [
+            ("bit-flip probability", i.bit_flip_per_read),
+            ("torn-write probability", i.torn_write_per_io),
+            ("lost-write probability", i.lost_write_per_io),
+            ("misdirected-write probability", i.misdirected_write_per_io),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be in [0, 1], got {p}"));
+            }
+        }
+        if i.active() && !self.shadow {
+            return Err(
+                "integrity subsystem requires the shadow content model (set shadow = true)"
+                    .to_string(),
+            );
+        }
         Ok(())
     }
 }
@@ -394,6 +475,16 @@ mod tests {
             ("faults", {
                 let mut c = base.clone();
                 c.faults.media_error_per_io += 0.5;
+                c
+            }),
+            ("integrity", {
+                let mut c = base.clone();
+                c.integrity.lost_write_per_io += 0.5;
+                c
+            }),
+            ("integrity.verify_reads", {
+                let mut c = base.clone();
+                c.integrity.verify_reads = true;
                 c
             }),
         ];
@@ -483,6 +574,42 @@ mod tests {
         let mut c = c;
         c.faults.media_error_per_io = 1e-4;
         assert!(c.faults.active());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn integrity_is_inactive_by_default() {
+        let c = ArrayConfig::paper_default(ParityPolicy::IdleOnly);
+        assert!(!c.integrity.active());
+        assert!(!c.integrity.injecting());
+        // Injection rates and verification both activate the subsystem.
+        let mut inj = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        inj.integrity.torn_write_per_io = 1e-3;
+        assert!(inj.integrity.injecting() && inj.integrity.active());
+        assert!(inj.validate().is_ok());
+        let mut ver = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        ver.integrity.verify_reads = true;
+        assert!(!ver.integrity.injecting());
+        assert!(ver.integrity.active());
+        assert!(ver.validate().is_ok());
+    }
+
+    #[test]
+    fn integrity_validation_rejects_bad_configs() {
+        let mut c = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        c.integrity.bit_flip_per_read = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        c.integrity.misdirected_write_per_io = -0.1;
+        assert!(c.validate().is_err());
+
+        // Active integrity needs the shadow ground truth.
+        let mut c = ArrayConfig::paper_default(ParityPolicy::IdleOnly);
+        assert!(!c.shadow);
+        c.integrity.verify_reads = true;
+        assert!(c.validate().is_err());
+        c.shadow = true;
         assert!(c.validate().is_ok());
     }
 

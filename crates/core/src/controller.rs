@@ -46,7 +46,9 @@ use std::collections::BTreeMap;
 
 use afraid_disk::disk::{Disk, DiskRequest, OpKind};
 use afraid_disk::sched::Scheduler;
-use afraid_disk::{FailSlowWindow, FaultInjector, FaultProfile, IoOutcome};
+use afraid_disk::{
+    FailSlowWindow, FaultInjector, FaultProfile, IoOutcome, SilentProfile, SilentWriteFault,
+};
 use afraid_sim::hash::FxHashMap;
 use afraid_sim::queue::{EventId, EventQueue};
 use afraid_sim::rng::SplitMix64;
@@ -58,6 +60,7 @@ use crate::config::ArrayConfig;
 use crate::faults::LatentErrors;
 use crate::health::Scoreboard;
 use crate::idle::IdleDetector;
+use crate::integrity::{CorruptKind, IntegrityState, IntegrityVerdict};
 use crate::layout::{Layout, UnitSlice};
 use crate::metrics::{IoCause, MetricsBuilder};
 use crate::nvram::MarkingMemory;
@@ -78,6 +81,10 @@ const BURST_EWMA_ALPHA: f64 = 0.3;
 /// How quickly an I/O addressed to a known-dead disk fails back to
 /// the controller.
 const FAILED_IO_LATENCY: SimDuration = SimDuration::from_micros(50);
+
+/// Which half of a torn write reaches the platter: the new payload's
+/// upper word half lands, the lower half keeps the old bytes.
+const TORN_KEEP_MASK: u64 = 0xffff_ffff_0000_0000;
 
 /// Simulation events.
 #[derive(Clone, Copy, Debug)]
@@ -216,6 +223,10 @@ struct ActiveReq {
     parity_fixes: Vec<ParityFix>,
     /// Stripes this write holds a "writing" reference on.
     stripes_held: Vec<u64>,
+    /// Set for reads served without touching the platter (cache hits,
+    /// known-bad scar fast-fails): verify-on-read has nothing to
+    /// check and must not consume bit-flip draws.
+    skip_verify: bool,
 }
 
 /// How a data write affects the shadow parity.
@@ -321,6 +332,9 @@ pub struct Controller {
     outstanding_writes: u32,
     pub(crate) metrics: MetricsBuilder,
     shadow: Option<ShadowArray>,
+    /// Per-unit checksum map and corruption registry, when the
+    /// integrity subsystem is enabled (requires the shadow model).
+    integrity: Option<IntegrityState>,
     read_cache: ReadCache,
     version: u64,
     lag_bytes: f64,
@@ -435,16 +449,55 @@ impl Controller {
                 d.set_fault_injector(inj);
             }
         }
-        let health = (cfg.faults.active() && cfg.faults.evict_threshold > 0.0).then(|| {
-            Scoreboard::new(
-                cfg.disks,
-                cfg.faults.health_alpha,
-                cfg.faults.evict_threshold,
-            )
-        });
+        // Silent corruption (wrong bytes under an `Ok` status) draws
+        // from its own forked substream per disk, so enabling it never
+        // perturbs the transient-fault sequence of an existing seed —
+        // and zero-rate injectors are inert, so the fault-free path
+        // stays bit-identical.
+        if cfg.integrity.injecting() {
+            let mut master = SplitMix64::new(cfg.integrity.seed);
+            let silent = SilentProfile {
+                bit_flip_per_read: cfg.integrity.bit_flip_per_read,
+                torn_write_per_io: cfg.integrity.torn_write_per_io,
+                lost_write_per_io: cfg.integrity.lost_write_per_io,
+                misdirected_write_per_io: cfg.integrity.misdirected_write_per_io,
+            };
+            for d in disks.iter_mut() {
+                let rng = master.fork();
+                match d.fault_injector_mut() {
+                    Some(inj) => inj.set_silent(silent, rng),
+                    None => d.set_fault_injector(
+                        FaultInjector::new(
+                            FaultProfile {
+                                media_error_per_io: 0.0,
+                                timeout_per_io: 0.0,
+                                command_timeout: cfg.faults.io_timeout,
+                            },
+                            SplitMix64::new(0),
+                        )
+                        .with_silent(silent, rng),
+                    ),
+                }
+            }
+        }
+        let health = ((cfg.faults.active() || cfg.integrity.injecting())
+            && cfg.faults.evict_threshold > 0.0)
+            .then(|| {
+                Scoreboard::new(
+                    cfg.disks,
+                    cfg.faults.health_alpha,
+                    cfg.faults.evict_threshold,
+                )
+            });
         let marks = MarkingMemory::new(layout.stripes(), cfg.mark_granularity);
         let engine = PolicyEngine::new(cfg.policy, cfg.params, cfg.n_data());
         let shadow = cfg.shadow.then(|| ShadowArray::new(layout));
+        // `validate` rejects integrity without the shadow model, so
+        // the state is built exactly when the subsystem is on.
+        let integrity = match (&shadow, cfg.integrity.active()) {
+            (Some(sh), true) => Some(IntegrityState::new(sh)),
+            _ => None,
+        };
         // Errors only matter inside the striped region; trailing
         // sectors that belong to no stripe are never read.
         let striped_sectors = layout.stripes() * layout.unit_sectors();
@@ -487,6 +540,7 @@ impl Controller {
             outstanding_writes: 0,
             metrics: MetricsBuilder::new(SimTime::ZERO),
             shadow,
+            integrity,
             version: 0,
             lag_bytes: 0.0,
             scrub_cursor: 0,
@@ -531,6 +585,12 @@ impl Controller {
     /// The shadow content model, if enabled.
     pub fn shadow(&self) -> Option<&ShadowArray> {
         self.shadow.as_ref()
+    }
+
+    /// The integrity state (per-unit checksums, corruption registry,
+    /// detection counters), if the subsystem is enabled.
+    pub fn integrity_state(&self) -> Option<&IntegrityState> {
+        self.integrity.as_ref()
     }
 
     /// The latent-error process, if one is configured.
@@ -718,6 +778,7 @@ impl Controller {
             shadow_writes: Vec::new(),
             parity_fixes: Vec::new(),
             stripes_held: Vec::new(),
+            skip_verify: false,
         });
         debug_assert!(
             shell.writes.is_empty()
@@ -732,6 +793,7 @@ impl Controller {
         shell.bytes = rec.bytes;
         shell.phase = phase;
         shell.pending = 0;
+        shell.skip_verify = false;
         shell
     }
 
@@ -761,7 +823,9 @@ impl Controller {
         let slot = self.alloc_slot(shell);
         if self.read_cache.hit(rec.offset, rec.bytes) {
             self.metrics.record_cache_hit();
-            self.req_mut(slot).pending = 1;
+            let req = self.req_mut(slot);
+            req.pending = 1;
+            req.skip_verify = true;
             self.events
                 .schedule(self.now + CACHE_HIT_LATENCY, Ev::ClientIo { req: slot });
             return;
@@ -783,7 +847,9 @@ impl Controller {
                 // The array knows the data is gone: report a media
                 // error promptly rather than returning garbage.
                 self.metrics.record_failed_read();
-                self.req_mut(slot).pending = 1;
+                let req = self.req_mut(slot);
+                req.pending = 1;
+                req.skip_verify = true;
                 self.events
                     .schedule(self.now + FAILED_IO_LATENCY, Ev::ClientIo { req: slot });
                 self.scratch_slices = slices;
@@ -1189,22 +1255,61 @@ impl Controller {
         req.pending = writes.len() as u32;
         let shadow_writes = std::mem::take(&mut req.shadow_writes);
 
-        // Apply shadow content updates at write issue.
+        // Apply shadow content updates at write issue. The shadow and
+        // integrity states are taken out for the duration so the
+        // silent-fault draws can reach `&mut self` helpers.
         self.version += 1;
         let version = self.version;
         let mut rebuilt = std::mem::take(&mut self.scratch_stripes);
-        if let Some(shadow) = &mut self.shadow {
-            for (stripe, unit, mode) in &shadow_writes {
-                let word = version_word(*stripe, *unit, version);
-                let old = shadow.write_data(*stripe, *unit, word);
+        let mut shadow_opt = self.shadow.take();
+        let mut integrity_opt = self.integrity.take();
+        if let Some(shadow) = &mut shadow_opt {
+            for &(stripe, unit, mode) in &shadow_writes {
+                let word = version_word(stripe, unit, version);
+                // Silent write faults: the disk acknowledges the write
+                // but the platter ends up holding something else. The
+                // checksum map always records the *intent* — that is
+                // the whole point of an end-to-end checksum.
+                let fault = if integrity_opt.is_some() {
+                    self.draw_write_fault(stripe, unit)
+                } else {
+                    SilentWriteFault::None
+                };
+                let prior = shadow.data_word(stripe, unit);
+                let stored = match fault {
+                    SilentWriteFault::None => word,
+                    SilentWriteFault::Torn => (word & TORN_KEEP_MASK) | (prior & !TORN_KEEP_MASK),
+                    SilentWriteFault::Lost | SilentWriteFault::Misdirected => prior,
+                };
+                let old = shadow.write_data(stripe, unit, stored);
+                if let Some(int) = &mut integrity_opt {
+                    int.record_write(stripe, unit, word);
+                    if stored != word {
+                        let kind = match fault {
+                            SilentWriteFault::Torn => CorruptKind::Torn,
+                            SilentWriteFault::Lost => CorruptKind::Lost,
+                            SilentWriteFault::Misdirected => CorruptKind::Misdirected,
+                            SilentWriteFault::None => unreachable!("clean writes store the intent"),
+                        };
+                        int.record_injection(stripe, unit, kind);
+                    }
+                    if fault == SilentWriteFault::Misdirected {
+                        self.misdirect_victim(shadow, int, stripe, unit, word);
+                    }
+                }
                 match mode {
                     ShadowMode::DataOnly => {}
                     ShadowMode::Incremental => {
-                        shadow.update_parity_incremental(*stripe, old, word);
+                        // The controller computed the new parity from
+                        // the pre-read old bytes and the *intended*
+                        // payload, so RMW parity tracks the intent even
+                        // when the data write lied — which is exactly
+                        // what makes RAID 5-mode corruption repairable.
+                        shadow.update_parity_incremental(stripe, old, word);
                     }
                     ShadowMode::Rebuild => {
-                        if !rebuilt.contains(stripe) {
-                            rebuilt.push(*stripe);
+                        if !rebuilt.contains(&stripe) {
+                            rebuilt.push(stripe);
                         }
                     }
                 }
@@ -1212,7 +1317,26 @@ impl Controller {
             for stripe in rebuilt.drain(..) {
                 shadow.rebuild_parity(stripe);
             }
+            // A reconstruct-write also computes parity from the intent
+            // in controller memory, not from what the platter ended up
+            // holding: patch the rebuilt parity for any unit this
+            // request silently corrupted (prior corruption of units
+            // *not* written here was pre-read as-is — physically, it
+            // launders into the new parity).
+            if let Some(int) = &integrity_opt {
+                for &(stripe, unit, mode) in &shadow_writes {
+                    if mode == ShadowMode::Rebuild && int.is_corrupt(stripe, unit) {
+                        let stored = shadow.data_word(stripe, unit);
+                        let intent = version_word(stripe, unit, version);
+                        if stored != intent {
+                            shadow.update_parity_incremental(stripe, stored, intent);
+                        }
+                    }
+                }
+            }
         }
+        self.shadow = shadow_opt;
+        self.integrity = integrity_opt;
         self.scratch_stripes = rebuilt;
 
         for io in writes.drain(..) {
@@ -1224,6 +1348,58 @@ impl Controller {
         let req = self.req_mut(slot);
         req.writes = writes;
         req.shadow_writes = shadow_writes;
+    }
+
+    /// Draws the silent fate of one data-unit write. Only client-data
+    /// writes draw (parity writes are modelled faithful), degraded
+    /// stripes never draw (the rebuild owns their content), and a
+    /// patient (draining) disk never lies on its way out.
+    fn draw_write_fault(&mut self, stripe: u64, unit: u32) -> SilentWriteFault {
+        if !self.cfg.integrity.injecting() || self.degraded_disk_for(stripe).is_some() {
+            return SilentWriteFault::None;
+        }
+        let disk = self.layout.data_disk(stripe, unit);
+        match self.disk_mut(disk).fault_injector_mut() {
+            Some(inj) => inj.draw_silent_write(),
+            None => SilentWriteFault::None,
+        }
+    }
+
+    /// A misdirected write lands its payload on the same disk's data
+    /// unit of the next eligible stripe (the head settled on the wrong
+    /// track); the target keeps its old bytes. The victim's checksum
+    /// still describes the victim's own intent, so the clobber is
+    /// detectable — and because no parity was updated for it, the
+    /// victim stays parity-repairable until something launders it.
+    fn misdirect_victim(
+        &self,
+        shadow: &mut ShadowArray,
+        int: &mut IntegrityState,
+        stripe: u64,
+        unit: u32,
+        word: u64,
+    ) {
+        let disk = self.layout.data_disk(stripe, unit);
+        let total = self.layout.stripes();
+        for step in 1..total {
+            let s = (stripe + step) % total;
+            // The victim must be a data unit of the same disk, on a
+            // stripe the rebuild does not own.
+            if self.layout.parity_disk(s) == disk || self.degraded_disk_for(s).is_some() {
+                continue;
+            }
+            let Some(vu) =
+                (0..self.layout.data_units()).find(|&u| self.layout.data_disk(s, u) == disk)
+            else {
+                continue;
+            };
+            if shadow.data_word(s, vu) == word {
+                return; // identical bytes: physically a no-op
+            }
+            shadow.write_data(s, vu, word);
+            int.record_injection(s, vu, CorruptKind::MisdirectedVictim);
+            return;
+        }
     }
 
     fn on_client_io(&mut self, slot: u32) {
@@ -1239,6 +1415,9 @@ impl Controller {
     }
 
     fn complete_request(&mut self, slot: u32) {
+        if self.integrity.is_some() {
+            self.verify_read(slot);
+        }
         let req = self.take_req(slot);
 
         if req.kind == ReqKind::Read {
@@ -1299,6 +1478,258 @@ impl Controller {
             }
         }
         self.try_finalize_eviction();
+    }
+
+    // ------------------------------------------------------------------
+    // End-to-end integrity: verify-on-read and corruption resolution
+    // ------------------------------------------------------------------
+
+    /// Verify-on-read (and silent-read accounting) for a completing
+    /// client read. With `verify_reads` off this only counts the
+    /// corrupt words the client was handed; with it on, every returned
+    /// unit is checked against its checksum: transient flips are
+    /// re-read in place, persistent corruption is repaired from parity
+    /// while the stripe's redundancy is fresh, and otherwise
+    /// *declared* — the deferral window priced in wrong bytes instead
+    /// of lost ones.
+    fn verify_read(&mut self, slot: u32) {
+        let (kind, phase, skip, offset, bytes) = {
+            let req = self.req_mut(slot);
+            (req.kind, req.phase, req.skip_verify, req.offset, req.bytes)
+        };
+        if kind != ReqKind::Read || phase != Phase::Read || skip {
+            return;
+        }
+        let Some(mut int) = self.integrity.take() else {
+            return;
+        };
+        let Some(mut shadow) = self.shadow.take() else {
+            self.integrity = Some(int);
+            return;
+        };
+        let mut slices = std::mem::take(&mut self.scratch_slices);
+        self.layout.map_range_into(offset, bytes, &mut slices);
+        let verify = self.cfg.integrity.verify_reads;
+        let mut condemned: Option<u32> = None;
+        for sl in &slices {
+            // Degraded stripes are served by reconstruction and
+            // byte-checked against the shadow model directly; the
+            // checksum layer covers platter reads.
+            if self.degraded_disk_for(sl.stripe).is_some() {
+                continue;
+            }
+            let word = shadow.data_word(sl.stripe, sl.unit);
+            let flipped = self
+                .disk_mut(sl.disk)
+                .fault_injector_mut()
+                .is_some_and(|inj| inj.draw_read_flip());
+            let wrong = flipped || !int.verify(sl.stripe, sl.unit, word);
+            if !verify {
+                if wrong {
+                    // The client got bytes that differ from what it
+                    // last wrote, under an `Ok` status: the failure
+                    // mode this subsystem exists to surface.
+                    int.counters.silent_reads += 1;
+                }
+                continue;
+            }
+            int.counters.verified_units += 1;
+            if !wrong {
+                continue;
+            }
+            if int.verify(sl.stripe, sl.unit, word) {
+                // The platter word checks out; only the transferred
+                // copy was flipped. A re-read returns clean bytes (the
+                // retry latency is not modelled).
+                int.counters.flip_repairs += 1;
+                continue;
+            }
+            if int.kind_of(sl.stripe, sl.unit).is_none() {
+                // Nothing was injected here: a checksum-layer bug, not
+                // a disk lie. Counted so clean runs can assert zero.
+                int.counters.false_positives += 1;
+                continue;
+            }
+            let (_, tripped) = self.resolve_corrupt_unit(
+                &mut shadow,
+                &mut int,
+                sl.stripe,
+                sl.unit,
+                sl.disk,
+                sl.disk_lba,
+                sl.sectors,
+                word,
+            );
+            if tripped && condemned.is_none() {
+                condemned = Some(sl.disk);
+            }
+        }
+        self.scratch_slices = slices;
+        self.shadow = Some(shadow);
+        self.integrity = Some(int);
+        if let Some(disk) = condemned {
+            self.begin_eviction(disk);
+        }
+    }
+
+    /// Resolves one checksum-detected persistent corruption: repairs
+    /// it from parity when the stripe's redundancy is fresh (the
+    /// reconstruction candidate itself must verify against the
+    /// checksum), declares the loss otherwise. `lba`/`sectors` locate
+    /// the in-place repair write. Returns the verdict and whether the
+    /// corruption tripped the disk's health threshold.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_corrupt_unit(
+        &mut self,
+        shadow: &mut ShadowArray,
+        int: &mut IntegrityState,
+        stripe: u64,
+        unit: u32,
+        disk: u32,
+        lba: u64,
+        sectors: u64,
+        word: u64,
+    ) -> (IntegrityVerdict, bool) {
+        // A lying disk is graver than one failing loudly: fold the
+        // corruption into the health scoreboard at its heavy weight.
+        let tripped = self
+            .health
+            .as_mut()
+            .is_some_and(|h| h.record_corruption(disk));
+        let fresh = !self.marks.is_marked(stripe)
+            && self.cfg.regions.mode_of(stripe) != RegionMode::NeverProtect;
+        let candidate = shadow.xor_survivors(stripe, disk);
+        if fresh && int.verify(stripe, unit, candidate) {
+            // Parity still encodes the intent: byte-exact repair.
+            shadow.write_data(stripe, unit, candidate);
+            int.record_repair(stripe, unit);
+            self.submit(
+                PlannedIo {
+                    disk,
+                    lba,
+                    sectors,
+                    op: OpKind::Write,
+                    cause: IoCause::CorruptRepairWrite,
+                },
+                Ev::RepairIo,
+            );
+            return (IntegrityVerdict::Repaired, tripped);
+        }
+        // The deferral window (or an already-laundered parity) gave
+        // the intent up: declare the loss — detected and counted,
+        // never silently passed — and absorb the platter bytes as the
+        // unit's defined content.
+        int.record_declare(stripe, unit, word);
+        self.metrics.record_failed_read();
+        if fresh {
+            // Re-anchor parity on the absorbed content so the stripe
+            // does not linger inconsistent while unmarked.
+            shadow.rebuild_parity(stripe);
+            self.submit(
+                PlannedIo {
+                    disk: self.layout.parity_disk(stripe),
+                    lba: self.layout.stripe_lba(stripe),
+                    sectors: self.layout.unit_sectors(),
+                    op: OpKind::Write,
+                    cause: IoCause::CorruptRepairWrite,
+                },
+                Ev::RepairIo,
+            );
+        }
+        (IntegrityVerdict::Declared, tripped)
+    }
+
+    /// Checksum-verifies one settling stripe just before the parity
+    /// scrub rebuilds its parity from platter content. A corruption on
+    /// a marked stripe is by definition unrepairable — stale parity is
+    /// what the mark means — so mismatches are declared and absorbed
+    /// *before* `rebuild_parity` would launder the rot into a
+    /// consistent-looking stripe with no record of the loss. Returns
+    /// the first disk the corruption evidence condemned, if any.
+    fn verify_scrub_stripe(&mut self, stripe: u64) -> Option<u32> {
+        if !self.cfg.integrity.verify_scrub || self.degraded_disk_for(stripe).is_some() {
+            return None;
+        }
+        let (Some(int), Some(shadow)) = (self.integrity.as_mut(), self.shadow.as_ref()) else {
+            return None;
+        };
+        let mut condemned = None;
+        for unit in 0..self.layout.data_units() {
+            let word = shadow.data_word(stripe, unit);
+            int.counters.verified_units += 1;
+            if int.verify(stripe, unit, word) {
+                continue;
+            }
+            if int.kind_of(stripe, unit).is_none() {
+                int.counters.false_positives += 1;
+                continue;
+            }
+            let disk = self.layout.data_disk(stripe, unit);
+            let tripped = self
+                .health
+                .as_mut()
+                .is_some_and(|h| h.record_corruption(disk));
+            if tripped && condemned.is_none() {
+                condemned = Some(disk);
+            }
+            int.record_declare(stripe, unit, word);
+        }
+        condemned
+    }
+
+    /// Checksum-verifies every data unit under a tour batch before the
+    /// latent-error planning runs. The tour already reads every sector
+    /// of the span, so verification costs no extra I/O; mismatches
+    /// ride [`Self::resolve_corrupt_unit`], which also restores parity
+    /// consistency on unmarked stripes — the consistency the
+    /// latent-repair asserts in the caller rely on.
+    fn verify_tour_span(&mut self, first: u64, nstripes: u64) {
+        if !self.cfg.integrity.verify_scrub {
+            return;
+        }
+        let Some(mut int) = self.integrity.take() else {
+            return;
+        };
+        let Some(mut shadow) = self.shadow.take() else {
+            self.integrity = Some(int);
+            return;
+        };
+        let mut condemned: Option<u32> = None;
+        for stripe in first..first + nstripes {
+            if self.degraded_disk_for(stripe).is_some() {
+                continue;
+            }
+            for unit in 0..self.layout.data_units() {
+                let word = shadow.data_word(stripe, unit);
+                int.counters.verified_units += 1;
+                if int.verify(stripe, unit, word) {
+                    continue;
+                }
+                if int.kind_of(stripe, unit).is_none() {
+                    int.counters.false_positives += 1;
+                    continue;
+                }
+                let disk = self.layout.data_disk(stripe, unit);
+                let (_, tripped) = self.resolve_corrupt_unit(
+                    &mut shadow,
+                    &mut int,
+                    stripe,
+                    unit,
+                    disk,
+                    self.layout.stripe_lba(stripe),
+                    self.layout.unit_sectors(),
+                    word,
+                );
+                if tripped && condemned.is_none() {
+                    condemned = Some(disk);
+                }
+            }
+        }
+        self.shadow = Some(shadow);
+        self.integrity = Some(int);
+        if let Some(disk) = condemned {
+            self.begin_eviction(disk);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1557,7 +1988,10 @@ impl Controller {
                 self.metrics.record_failed_read();
                 self.handle(fl.done);
             }
-            IoCause::TourRead | IoCause::LatentRepairWrite | IoCause::ReadRepairWrite => {
+            IoCause::TourRead
+            | IoCause::LatentRepairWrite
+            | IoCause::ReadRepairWrite
+            | IoCause::CorruptRepairWrite => {
                 // Best-effort background work; the next tour or a
                 // client rewrite covers it.
                 self.handle(fl.done);
@@ -1574,7 +2008,15 @@ impl Controller {
             unreachable!("client reads complete client requests")
         };
         let stripe = fl.io.lba / self.layout.unit_sectors();
-        let redundant = !matches!(self.cfg.regions.mode_of(stripe), RegionMode::NeverProtect)
+        // A stripe with live silent corruption has a broken XOR
+        // identity: reconstruction would hand back wrong bytes, so the
+        // read fails honestly instead.
+        let corrupt = self
+            .integrity
+            .as_ref()
+            .is_some_and(|int| int.stripe_corrupt(stripe));
+        let redundant = !corrupt
+            && !matches!(self.cfg.regions.mode_of(stripe), RegionMode::NeverProtect)
             && !self.marks.is_marked(stripe)
             && self.degraded_disk_for(stripe).is_none();
         if !redundant {
@@ -1969,12 +2411,20 @@ impl Controller {
             return;
         };
         let mut settled = 0u64;
+        let mut condemned: Option<u32> = None;
         for &s in &scrub.stripes {
             if scrub.failed.contains(&s) {
                 // A scrub I/O of this stripe exhausted its retries:
                 // the mark stays set and a later pass (with fresh
                 // fault draws) retries it.
                 continue;
+            }
+            // Checksum-verify the stripe *before* its parity is
+            // rebuilt from the platter bytes: a lost or torn write on
+            // a marked stripe would otherwise be laundered into a
+            // consistent-looking stripe with no record of the loss.
+            if let Some(disk) = self.verify_scrub_stripe(s) {
+                condemned.get_or_insert(disk);
             }
             if let Some(shadow) = &mut self.shadow {
                 shadow.rebuild_parity(s);
@@ -1991,6 +2441,13 @@ impl Controller {
             settled += 1;
         }
         self.metrics.record_scrub_batch(settled);
+        if let Some(disk) = condemned {
+            // Scrub-detected corruption condemned a disk. This may
+            // start a forced settle of the remaining marks right here;
+            // the continuation below is guarded against double-issuing
+            // a batch.
+            self.begin_eviction(disk);
+        }
 
         if self.nvram_recovery && self.marks.marked_count() == 0 {
             self.nvram_recovery = false;
@@ -2021,7 +2478,9 @@ impl Controller {
             || self.evicting.is_some()
             || (d.scrub_on_idle && self.idle.is_idle(self.now));
         if keep_going {
-            self.scrub_next_batch();
+            if self.scrub.is_none() {
+                self.scrub_next_batch();
+            }
         } else {
             self.arm_idle_timer(d.scrub_on_idle);
         }
@@ -2125,6 +2584,10 @@ impl Controller {
             return;
         };
         let (batch_id, first, nstripes) = (tb.batch_id, tb.first_stripe, tb.stripes);
+        // Integrity sweep first: repairs/declares here restore parity
+        // consistency on unmarked stripes, which the latent-repair
+        // cross-checks below assert.
+        self.verify_tour_span(first, nstripes);
         let unit_sectors = self.layout.unit_sectors();
         let lba0 = self.layout.stripe_lba(first);
         let span = nstripes * unit_sectors;
@@ -2278,9 +2741,57 @@ impl Controller {
             if let Some(shadow) = &mut self.shadow {
                 let garbage = shadow.xor_survivors(stripe, disk);
                 shadow.write_data(stripe, uf, garbage);
+                // The scar's content is now *defined* as that value;
+                // re-anchor its checksum so later verification reports
+                // fresh divergence, not this already-reported loss.
+                if let Some(int) = &mut self.integrity {
+                    int.absorb(stripe, uf, garbage);
+                }
             }
             self.clear_mark(stripe);
         }
+
+        // Clean stripes carrying live silent corruption are parity-
+        // inconsistent without being marked: if the dead disk held one
+        // of their data units, its reconstruction is whatever the
+        // poisoned XOR yields. Checksum-verify the candidate — when
+        // the rot was on the dead unit itself, parity still encodes
+        // the client's intent and the failure *heals* the lie; any
+        // other case scars the unit and declares the loss rather than
+        // letting the rebuild materialise wrong bytes silently.
+        if let Some(mut int) = self.integrity.take() {
+            if let Some(mut shadow) = self.shadow.take() {
+                let mut last = None;
+                for (stripe, _, _) in int.live_corrupt() {
+                    if last == Some(stripe) {
+                        continue;
+                    }
+                    last = Some(stripe);
+                    if self.layout.parity_disk(stripe) == disk
+                        || scarred.contains_key(&stripe)
+                        || self.cfg.regions.mode_of(stripe) == RegionMode::NeverProtect
+                    {
+                        continue;
+                    }
+                    let Some(uf) = (0..self.layout.data_units())
+                        .find(|&u| self.layout.data_disk(stripe, u) == disk)
+                    else {
+                        continue;
+                    };
+                    let candidate = shadow.xor_survivors(stripe, disk);
+                    shadow.write_data(stripe, uf, candidate);
+                    if int.verify(stripe, uf, candidate) {
+                        int.record_repair(stripe, uf);
+                    } else {
+                        int.record_declare(stripe, uf, candidate);
+                        scarred.insert(stripe, uf);
+                    }
+                }
+                self.shadow = Some(shadow);
+            }
+            self.integrity = Some(int);
+        }
+
         self.degraded = Some(Degraded {
             failed: disk,
             scarred,

@@ -177,6 +177,7 @@ impl<'a> TraceRun<'a> {
                     c.shadow(),
                     &self.cfg.regions,
                     c.latent_errors(),
+                    c.integrity_state(),
                     disk,
                     c.now,
                 ));
@@ -211,6 +212,7 @@ impl<'a> TraceRun<'a> {
                     c.shadow(),
                     &self.cfg.regions,
                     c.latent_errors(),
+                    c.integrity_state(),
                     disk,
                     c.now,
                 ));
@@ -232,6 +234,10 @@ impl<'a> TraceRun<'a> {
         self.c
             .metrics
             .set_event_stats(self.events_processed, self.queue_peak);
+        if let Some(int) = self.c.integrity_state() {
+            let counters = int.counters;
+            self.c.metrics.set_integrity(counters);
+        }
         RunResult {
             metrics: self.c.metrics.clone().finish(end),
             loss: self.loss,

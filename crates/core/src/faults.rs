@@ -27,6 +27,7 @@ use afraid_sim::rng::SplitMix64;
 use afraid_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
 
+use crate::integrity::IntegrityState;
 use crate::layout::Layout;
 use crate::nvram::MarkingMemory;
 use crate::regions::{RegionMap, RegionMode};
@@ -213,13 +214,23 @@ pub struct DataLossReport {
     pub latent_lost_bytes: u64,
     /// `(stripe, unit)` of each latent-lost data unit, in stripe order.
     pub latent_lost: Vec<(u64, u32)>,
+    /// Data units of *clean* stripes lost because live silent
+    /// corruption poisoned their reconstruction: the failed disk's
+    /// unit XORs back to a word that fails its checksum. Corruptions
+    /// on the dead unit itself are healed by the failure (parity still
+    /// encodes the intent) and are not counted here.
+    pub corrupt_lost_units: u64,
+    /// `(stripe, unit)` of each corruption-lost data unit, in stripe
+    /// order.
+    pub corrupt_lost: Vec<(u64, u32)>,
 }
 
 impl DataLossReport {
-    /// True if the failure lost no client data — neither dirty-stripe
-    /// exposure nor latent-sector corruption.
+    /// True if the failure lost no client data — no dirty-stripe
+    /// exposure, latent-sector corruption, or silent-corruption
+    /// poisoning.
     pub fn is_lossless(&self) -> bool {
-        self.lost_units == 0 && self.latent_lost_units == 0
+        self.lost_units == 0 && self.latent_lost_units == 0 && self.corrupt_lost_units == 0
     }
 }
 
@@ -235,12 +246,14 @@ impl DataLossReport {
 /// Panics (in any build) if a shadow model is supplied and its XOR
 /// arithmetic disagrees with the marking memory — that would mean the
 /// controller violated the AFRAID invariant.
+#[allow(clippy::too_many_arguments)]
 pub fn assess_loss(
     layout: &Layout,
     marks: &MarkingMemory,
     shadow: Option<&ShadowArray>,
     regions: &RegionMap,
     latent: Option<&LatentErrors>,
+    integrity: Option<&IntegrityState>,
     failed_disk: u32,
     at: SimTime,
 ) -> DataLossReport {
@@ -256,6 +269,8 @@ pub fn assess_loss(
         latent_lost_units: 0,
         latent_lost_bytes: 0,
         latent_lost: Vec::new(),
+        corrupt_lost_units: 0,
+        corrupt_lost: Vec::new(),
     };
     let m = f64::from(marks.granularity().bits());
     // After an NVRAM failure every un-swept stripe is marked "suspect":
@@ -278,6 +293,11 @@ pub fn assess_loss(
             continue;
         }
 
+        // Live silent corruption breaks the XOR identity *without* a
+        // mark: the marks-vs-XOR cross-check below does not apply to
+        // such stripes, and their loss is assessed by checksum.
+        let corrupt = integrity.is_some_and(|int| int.stripe_corrupt(stripe));
+
         if nvram_suspect {
             if let Some(shadow) = shadow {
                 if dirty && shadow.reconstruct(stripe, failed_disk) == Reconstruction::Recovered {
@@ -285,6 +305,8 @@ pub fn assess_loss(
                     dirty = false;
                 }
             }
+        } else if corrupt {
+            // Exempt from the cross-check; assessed below.
         } else if let Some(shadow) = shadow {
             // The shadow's verdict on the failed disk's unit must match
             // the marking memory: clean => recoverable, dirty =>
@@ -306,6 +328,26 @@ pub fn assess_loss(
         }
 
         if !dirty {
+            if corrupt {
+                // The failed disk's unit reconstructs to whatever the
+                // poisoned XOR yields. When that candidate checksums
+                // back to the client's intent, the corruption was on
+                // the dead unit itself and the failure heals it; any
+                // other case is a loss.
+                if parity_disk != failed_disk {
+                    if let (Some(shadow), Some(int)) = (shadow, integrity) {
+                        let unit = (0..layout.data_units())
+                            .find(|&u| layout.data_disk(stripe, u) == failed_disk)
+                            .expect("failed disk holds a data unit of this stripe");
+                        let candidate = shadow.xor_survivors(stripe, failed_disk);
+                        if !int.verify(stripe, unit, candidate) {
+                            report.corrupt_lost_units += 1;
+                            report.corrupt_lost.push((stripe, unit));
+                        }
+                    }
+                }
+                continue;
+            }
             // The stripe reconstructs cleanly through parity — unless a
             // latent sector error has silently corrupted a survivor.
             if let Some(latent) = latent {
@@ -395,6 +437,7 @@ mod tests {
                 Some(&shadow),
                 &RegionMap::none(),
                 None,
+                None,
                 disk,
                 SimTime::ZERO,
             );
@@ -420,6 +463,7 @@ mod tests {
             Some(&shadow),
             &RegionMap::none(),
             None,
+            None,
             data_disk,
             SimTime::ZERO,
         );
@@ -435,6 +479,7 @@ mod tests {
             &marks,
             Some(&shadow),
             &RegionMap::none(),
+            None,
             None,
             other,
             SimTime::ZERO,
@@ -456,6 +501,7 @@ mod tests {
             &marks,
             Some(&shadow),
             &RegionMap::none(),
+            None,
             None,
             pd,
             SimTime::ZERO,
@@ -482,6 +528,7 @@ mod tests {
                 Some(&shadow),
                 &RegionMap::none(),
                 None,
+                None,
                 disk,
                 SimTime::ZERO,
             );
@@ -501,6 +548,7 @@ mod tests {
             &marks,
             None,
             &RegionMap::none(),
+            None,
             None,
             failed,
             SimTime::ZERO,
@@ -523,6 +571,7 @@ mod tests {
             Some(&shadow),
             &RegionMap::none(),
             None,
+            None,
             0,
             SimTime::ZERO,
         );
@@ -539,7 +588,7 @@ mod tests {
         }]);
         // No marks anywhere, but the declared-unprotected region loses
         // its data units on the failed disk (unless it held parity).
-        let r = assess_loss(&l, &marks, None, &regions, None, 0, SimTime::ZERO);
+        let r = assess_loss(&l, &marks, None, &regions, None, None, 0, SimTime::ZERO);
         let expect = (0..3u64).filter(|&s| l.parity_disk(s) != 0).count() as u64;
         assert_eq!(r.declared_unprotected_units, expect);
         assert!(
@@ -557,7 +606,16 @@ mod tests {
         }
         // Disk 0: parity for stripe 4 only (out of the dirty set none),
         // so it holds data units in all four dirty stripes.
-        let r = assess_loss(&l, &marks, None, &RegionMap::none(), None, 0, SimTime::ZERO);
+        let r = assess_loss(
+            &l,
+            &marks,
+            None,
+            &RegionMap::none(),
+            None,
+            None,
+            0,
+            SimTime::ZERO,
+        );
         let expect_parity = [1u64, 2, 3, 7]
             .iter()
             .filter(|&&s| l.parity_disk(s) == 0)
@@ -584,6 +642,7 @@ mod tests {
             None,
             &RegionMap::none(),
             Some(&latent),
+            None,
             failed,
             SimTime::ZERO,
         );
@@ -610,6 +669,7 @@ mod tests {
             None,
             &RegionMap::none(),
             Some(&latent),
+            None,
             failed,
             SimTime::ZERO,
         );
@@ -625,6 +685,7 @@ mod tests {
             None,
             &RegionMap::none(),
             Some(&latent),
+            None,
             pd,
             SimTime::ZERO,
         );
@@ -644,6 +705,7 @@ mod tests {
             None,
             &RegionMap::none(),
             Some(&latent),
+            None,
             0,
             SimTime::ZERO,
         );
@@ -664,6 +726,7 @@ mod tests {
             None,
             &RegionMap::none(),
             Some(&latent),
+            None,
             failed,
             SimTime::ZERO,
         );
@@ -687,6 +750,7 @@ mod tests {
             None,
             &RegionMap::none(),
             Some(&latent),
+            None,
             failed,
             SimTime::ZERO,
         );

@@ -8,6 +8,19 @@
 //! configured threshold condemns the disk for proactive eviction into
 //! the spare/rebuild pipeline, trading a bounded exposure window for
 //! not limping along on a dying drive.
+//!
+//! Checksum-detected corruptions are the gravest input: a disk that
+//! *lies* — returns or stores wrong bytes with an `Ok` status — is
+//! more dangerous than one that fails loudly, because every fault it
+//! reports is one the checksum layer had to catch. A corruption folds
+//! in with [`CORRUPTION_WEIGHT`] EWMA steps of weight 1, so a couple
+//! of lies condemn a disk that media errors alone would take many
+//! faults to evict.
+
+/// EWMA steps of weight 1 folded in per checksum-detected corruption.
+/// One corruption moves the score as far as this many consecutive
+/// media errors.
+pub const CORRUPTION_WEIGHT: u32 = 4;
 
 /// One disk's health state.
 #[derive(Clone, Copy, Debug, Default)]
@@ -18,6 +31,8 @@ pub struct DiskHealth {
     pub media_errors: u64,
     /// Command timeouts observed.
     pub timeouts: u64,
+    /// Checksum-detected silent corruptions attributed to this disk.
+    pub corruptions: u64,
 }
 
 /// EWMA fault scores for every disk in the array.
@@ -70,6 +85,18 @@ impl Scoreboard {
     pub fn record_timeout(&mut self, disk: u32) -> bool {
         self.disks[disk as usize].timeouts += 1;
         self.bump(disk, 1.0) >= self.threshold
+    }
+
+    /// Folds in a checksum-detected silent corruption — heavily
+    /// weighted, see [`CORRUPTION_WEIGHT`]; true if the disk crossed
+    /// the threshold.
+    pub fn record_corruption(&mut self, disk: u32) -> bool {
+        self.disks[disk as usize].corruptions += 1;
+        let mut score = 0.0;
+        for _ in 0..CORRUPTION_WEIGHT {
+            score = self.bump(disk, 1.0);
+        }
+        score >= self.threshold
     }
 
     /// The disk's current score.
@@ -125,6 +152,30 @@ mod tests {
             }
         }
         assert!(sb.score(0) < 0.4, "score {}", sb.score(0));
+    }
+
+    #[test]
+    fn corruption_outweighs_loud_faults() {
+        // One corruption moves the EWMA as far as CORRUPTION_WEIGHT
+        // consecutive media errors: at alpha 0.3 a single lie scores
+        // 1-(0.7^4) ≈ 0.76 and crosses a 0.5 threshold immediately,
+        // where a media error (0.3) does not.
+        let mut loud = Scoreboard::new(2, 0.3, 0.5);
+        assert!(!loud.record_media_error(0));
+        let mut lying = Scoreboard::new(2, 0.3, 0.5);
+        assert!(lying.record_corruption(0));
+        assert!(lying.score(0) > loud.score(0));
+    }
+
+    #[test]
+    fn corruption_count_is_tracked_per_disk() {
+        let mut sb = Scoreboard::new(3, 0.1, 0.9);
+        sb.record_corruption(2);
+        sb.record_corruption(2);
+        assert_eq!(sb.disks[2].corruptions, 2);
+        assert_eq!(sb.disks[0].corruptions, 0);
+        sb.reset(2);
+        assert_eq!(sb.disks[2].corruptions, 0);
     }
 
     #[test]

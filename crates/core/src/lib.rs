@@ -41,6 +41,7 @@
 //! | [`metrics`] | per-run measurements |
 //! | [`faults`] | disk/NVRAM failure injection, latent sector errors, loss assessment |
 //! | [`health`] | per-disk EWMA fault scoreboard driving proactive eviction |
+//! | [`integrity`] | per-unit checksums, verify-on-read, corruption verdicts |
 //! | [`shadow`] | XOR content model that *verifies* redundancy claims |
 //! | [`idle`] | idle detection |
 //! | [`scrub`] | latent-error tour scrubber (idle-driven, IOPS-budgeted) |
@@ -58,6 +59,7 @@ pub mod driver;
 pub mod faults;
 pub mod health;
 pub mod idle;
+pub mod integrity;
 pub mod layout;
 pub mod metrics;
 pub mod nvram;
@@ -74,6 +76,7 @@ pub use config::{ArrayConfig, FailSlowConfig, FaultConfig, ScrubConfig};
 pub use driver::{run_trace, RunOptions, RunResult};
 pub use faults::{DataLossReport, LatentErrors};
 pub use health::Scoreboard;
+pub use integrity::{CorruptKind, IntegrityCounters, IntegrityState, IntegrityVerdict};
 pub use layout::Layout;
 pub use metrics::RunMetrics;
 pub use nvram::{MarkGranularity, MarkingMemory};

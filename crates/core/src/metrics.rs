@@ -10,6 +10,8 @@ use afraid_sim::stats::{Histogram, OnlineStats, TimeWeighted};
 use afraid_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
+use crate::integrity::IntegrityCounters;
+
 /// Why a disk I/O was issued.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum IoCause {
@@ -38,6 +40,10 @@ pub enum IoCause {
     /// Rewrite of a unit whose read exhausted its retries, with data
     /// reconstructed from the survivors (read-error scrubbing).
     ReadRepairWrite,
+    /// Repair write for a checksum-detected silent corruption: the
+    /// unit regenerated from fresh parity, or the stripe's parity
+    /// rebuilt over a declared (absorbed) corruption.
+    CorruptRepairWrite,
 }
 
 /// Count of disk I/Os by cause.
@@ -67,6 +73,8 @@ pub struct IoBreakdown {
     pub latent_repair_write: u64,
     /// Read-error-scrubbing rewrites after reconstruct fallbacks.
     pub read_repair_write: u64,
+    /// Corruption repair writes (checksum-detected silent faults).
+    pub corrupt_repair_write: u64,
 }
 
 impl IoBreakdown {
@@ -85,6 +93,7 @@ impl IoBreakdown {
             IoCause::TourRead => self.tour_read += 1,
             IoCause::LatentRepairWrite => self.latent_repair_write += 1,
             IoCause::ReadRepairWrite => self.read_repair_write += 1,
+            IoCause::CorruptRepairWrite => self.corrupt_repair_write += 1,
         }
     }
 
@@ -107,6 +116,7 @@ impl IoBreakdown {
             + self.tour_read
             + self.latent_repair_write
             + self.read_repair_write
+            + self.corrupt_repair_write
     }
 }
 
@@ -152,6 +162,7 @@ pub struct MetricsBuilder {
     evict_exposure_secs: f64,
     events_processed: u64,
     event_queue_peak: usize,
+    integrity: IntegrityCounters,
 }
 
 impl MetricsBuilder {
@@ -192,6 +203,7 @@ impl MetricsBuilder {
             evict_exposure_secs: 0.0,
             events_processed: 0,
             event_queue_peak: 0,
+            integrity: IntegrityCounters::default(),
         }
     }
 
@@ -324,6 +336,12 @@ impl MetricsBuilder {
         }
     }
 
+    /// Installs the integrity subsystem's final counters (the driver
+    /// copies them out of the controller when the run halts).
+    pub fn set_integrity(&mut self, counters: IntegrityCounters) {
+        self.integrity = counters;
+    }
+
     /// Records the event-loop totals measured by the driver: events
     /// delivered and the deepest event queue seen.
     pub fn set_event_stats(&mut self, processed: u64, queue_peak: usize) {
@@ -406,6 +424,7 @@ impl MetricsBuilder {
                     0.0
                 }
             },
+            integrity: self.integrity,
         }
     }
 }
@@ -514,6 +533,9 @@ pub struct RunMetrics {
     /// bit-identity tests compare (perfbench reports the wall-clock
     /// rate separately).
     pub events_per_sim_sec: f64,
+    /// Integrity-subsystem counters: silent faults injected, detected,
+    /// repaired, declared; silent reads (zero under verify-on-read).
+    pub integrity: IntegrityCounters,
 }
 
 impl RunMetrics {

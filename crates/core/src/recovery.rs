@@ -57,6 +57,7 @@ use afraid_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::controller::Controller;
+use crate::integrity::IntegrityState;
 use crate::nvram::MarkingMemory;
 use crate::shadow::ShadowArray;
 
@@ -82,6 +83,11 @@ pub struct CrashImage {
     /// crash: scarred units whose reconstruction garbage was absorbed
     /// as defined content when the disk failed mid-run.
     pub scarred: Vec<(u64, u32)>,
+    /// The integrity subsystem's state at the cut, when enabled. The
+    /// checksum map models NVRAM/on-platter block-integrity metadata
+    /// (written with the data it covers), so it survives a power cut
+    /// and anchors the power-on write-intent cross-check.
+    pub integrity: Option<IntegrityState>,
     /// True once the marking memory's contents are untrusted.
     pub nvram_failed: bool,
     /// Simulated instant of the cut.
@@ -107,6 +113,7 @@ impl CrashImage {
             shadow,
             failed_disk: c.dead_disk(),
             scarred: c.scarred_units(),
+            integrity: c.integrity_state().cloned(),
             nvram_failed: c.marks().has_failed(),
             at: c.now(),
             events_processed,
@@ -171,6 +178,17 @@ pub struct RecoveryOutcome {
     /// Data units declared lost, in stripe order. Conservative: with
     /// a failed NVRAM this covers every dead-disk data unit.
     pub declared_lost: Vec<LostUnit>,
+    /// Silent corruptions the power-on cross-check repaired
+    /// byte-exactly from surviving redundancy.
+    pub corrupt_repaired: u64,
+    /// Silent corruptions the cross-check detected but could not
+    /// repair (stale or dead redundancy), in stripe order. Their
+    /// platter content is absorbed as defined, never silently passed.
+    pub corrupt_declared: Vec<LostUnit>,
+    /// The integrity state after recovery, when the image carried one:
+    /// checksums re-anchored on every declare, registry drained of
+    /// everything the cross-check resolved.
+    pub integrity: Option<IntegrityState>,
 }
 
 /// Word pattern written over the dead disk before reconstruction, so
@@ -188,6 +206,7 @@ const SCRAMBLE: u64 = 0xdead_dead_dead_dead;
 pub fn replay(image: &CrashImage) -> RecoveryOutcome {
     let mut shadow = image.shadow.clone();
     let mut marks = image.marks.clone();
+    let mut integrity = image.integrity.clone();
     let layout = *shadow.layout();
 
     if let Some(f) = image.failed_disk {
@@ -200,11 +219,48 @@ pub fn replay(image: &CrashImage) -> RecoveryOutcome {
     let mut spurious_marks = 0u64;
     let mut reconstructed = 0u64;
     let mut declared_lost: Vec<LostUnit> = Vec::new();
+    let mut corrupt_repaired = 0u64;
+    let mut corrupt_declared: Vec<LostUnit> = Vec::new();
 
     for stripe in 0..layout.stripes() {
         let marked = marks.is_marked(stripe);
         match image.failed_disk {
             None => {
+                // Power-on write-intent cross-check: every surviving
+                // data unit is verified against its checksum *before*
+                // any parity rebuild could launder a torn or lost
+                // write into a consistent-looking stripe. Mismatches
+                // on a marked stripe have no repair candidate (the
+                // mark means stale parity) and are declared; on an
+                // unmarked stripe the XOR candidate is tried first.
+                if let Some(int) = &mut integrity {
+                    for unit in 0..layout.data_units() {
+                        let w = shadow.data_word(stripe, unit);
+                        if int.verify(stripe, unit, w) {
+                            continue;
+                        }
+                        let disk = layout.data_disk(stripe, unit);
+                        if marked {
+                            int.record_declare(stripe, unit, w);
+                            corrupt_declared.push(LostUnit { stripe, unit, disk });
+                            continue;
+                        }
+                        let candidate = shadow.xor_survivors(stripe, disk);
+                        if int.verify(stripe, unit, candidate) {
+                            // Parity still encodes the client's
+                            // intent: byte-exact repair.
+                            shadow.write_data(stripe, unit, candidate);
+                            int.record_repair(stripe, unit);
+                            corrupt_repaired += 1;
+                        } else {
+                            int.record_declare(stripe, unit, w);
+                            corrupt_declared.push(LostUnit { stripe, unit, disk });
+                            // Re-anchor parity on the absorbed content
+                            // so the stripe leaves recovery consistent.
+                            shadow.rebuild_parity(stripe);
+                        }
+                    }
+                }
                 // Pure power loss: data is all present; only parity
                 // may be stale, and only on marked stripes.
                 if marked {
@@ -220,7 +276,23 @@ pub fn replay(image: &CrashImage) -> RecoveryOutcome {
             Some(f) if layout.parity_disk(stripe) == f => {
                 // The dead disk held this stripe's parity: all data
                 // survives; recompute parity onto the spare. A mark
-                // here meant "parity stale", which is now moot.
+                // here meant "parity stale", which is now moot. Rot on
+                // a data unit has no redundancy left to repair from —
+                // declared, never laundered by the rebuild.
+                if let Some(int) = &mut integrity {
+                    for unit in 0..layout.data_units() {
+                        let w = shadow.data_word(stripe, unit);
+                        if int.verify(stripe, unit, w) {
+                            continue;
+                        }
+                        int.record_declare(stripe, unit, w);
+                        corrupt_declared.push(LostUnit {
+                            stripe,
+                            unit,
+                            disk: layout.data_disk(stripe, unit),
+                        });
+                    }
+                }
                 shadow.rebuild_parity(stripe);
                 reconstructed += 1;
                 if marked {
@@ -231,6 +303,27 @@ pub fn replay(image: &CrashImage) -> RecoveryOutcome {
                 let unit = (0..layout.data_units())
                     .find(|&u| layout.data_disk(stripe, u) == f)
                     .expect("dead disk holds a data unit when it is not the parity disk");
+                // Survivor rot first: a degraded array has no spare
+                // redundancy, so mismatching survivors are declared
+                // as-is (and poison the reconstruction below, which
+                // the candidate checksum then catches).
+                if let Some(int) = &mut integrity {
+                    for u in 0..layout.data_units() {
+                        if u == unit {
+                            continue;
+                        }
+                        let w = shadow.data_word(stripe, u);
+                        if int.verify(stripe, u, w) {
+                            continue;
+                        }
+                        int.record_declare(stripe, u, w);
+                        corrupt_declared.push(LostUnit {
+                            stripe,
+                            unit: u,
+                            disk: layout.data_disk(stripe, u),
+                        });
+                    }
+                }
                 let xor = shadow.xor_survivors(stripe, f);
                 if marked {
                     // Parity may be stale: the XOR value is undefined
@@ -243,8 +336,35 @@ pub fn replay(image: &CrashImage) -> RecoveryOutcome {
                         disk: f,
                     });
                     marks.clear(stripe);
+                    if let Some(int) = &mut integrity {
+                        int.absorb(stripe, unit, xor);
+                    }
                 } else {
-                    reconstructed += 1;
+                    match &mut integrity {
+                        Some(int) if !int.verify(stripe, unit, xor) => {
+                            // The reconstruction candidate fails its
+                            // checksum — a survivor lied. Without the
+                            // cross-check this garbage would have been
+                            // counted a successful reconstruction.
+                            int.record_declare(stripe, unit, xor);
+                            corrupt_declared.push(LostUnit {
+                                stripe,
+                                unit,
+                                disk: f,
+                            });
+                        }
+                        Some(int) => {
+                            if int.kind_of(stripe, unit).is_some() {
+                                // The rot was on the dead unit itself;
+                                // parity still encoded the intent and
+                                // the failure healed the lie.
+                                int.record_repair(stripe, unit);
+                                corrupt_repaired += 1;
+                            }
+                            reconstructed += 1;
+                        }
+                        None => reconstructed += 1,
+                    }
                 }
                 shadow.set_word(stripe, f, xor);
             }
@@ -258,6 +378,9 @@ pub fn replay(image: &CrashImage) -> RecoveryOutcome {
         spurious_marks,
         reconstructed,
         declared_lost,
+        corrupt_repaired,
+        corrupt_declared,
+        integrity,
     }
 }
 
@@ -303,6 +426,7 @@ mod tests {
             shadow: ShadowArray::new(layout),
             failed_disk: None,
             scarred: Vec::new(),
+            integrity: None,
             nvram_failed: false,
             at: SimTime::ZERO,
             events_processed: 0,
@@ -401,6 +525,71 @@ mod tests {
         for s in 0..layout.stripes() {
             assert!(out.shadow.parity_consistent(s), "stripe {s}");
         }
+    }
+
+    #[test]
+    fn power_on_cross_check_repairs_unmarked_rot() {
+        use crate::integrity::{CorruptKind, IntegrityState};
+        let mut img = image();
+        let l = *img.shadow.layout();
+        let mut int = IntegrityState::new(&img.shadow);
+        // Lost write on an unmarked stripe: the RMW parity update went
+        // through, the data write itself never hit the platter.
+        let (s, u) = (4u64, 1u32);
+        let old = img.shadow.data_word(s, u);
+        let intent = 0xaaaa_u64;
+        int.record_write(s, u, intent);
+        int.record_injection(s, u, CorruptKind::Lost);
+        img.shadow.write_data(s, u, intent);
+        img.shadow.rebuild_parity(s); // parity encodes the intent
+        img.shadow.set_word(s, l.data_disk(s, u), old); // data write lost
+        img.integrity = Some(int);
+
+        let out = replay(&img);
+        assert_eq!(out.corrupt_repaired, 1);
+        assert!(out.corrupt_declared.is_empty());
+        assert_eq!(out.shadow.data_word(s, u), intent, "byte-exact repair");
+        for stripe in 0..l.stripes() {
+            assert!(out.shadow.parity_consistent(stripe), "stripe {stripe}");
+        }
+        let int = out.integrity.expect("image carried integrity state");
+        assert_eq!(int.live(), 0);
+        assert_eq!(int.divergence(&out.shadow, &BTreeSet::new()), None);
+        assert_eq!(int.counters.repaired, 1);
+    }
+
+    #[test]
+    fn power_on_cross_check_declares_marked_rot() {
+        use crate::integrity::{CorruptKind, IntegrityState};
+        let mut img = image();
+        let l = *img.shadow.layout();
+        let mut int = IntegrityState::new(&img.shadow);
+        // Lost write on a *marked* stripe (AFRAID deferred the parity):
+        // the platter keeps the old word and no redundancy encodes the
+        // intent — the cross-check must declare, not invent data.
+        let (s, u) = (6u64, 0u32);
+        int.record_write(s, u, 0xbbbb);
+        int.record_injection(s, u, CorruptKind::Lost);
+        img.marks.mark(s, 0, 1);
+        img.integrity = Some(int);
+
+        let out = replay(&img);
+        assert_eq!(out.corrupt_repaired, 0);
+        assert_eq!(out.corrupt_declared.len(), 1);
+        assert_eq!(out.corrupt_declared[0].stripe, s);
+        assert_eq!(out.corrupt_declared[0].unit, u);
+        assert_eq!(out.corrupt_declared[0].disk, l.data_disk(s, u));
+        assert_eq!(out.marks.marked_count(), 0);
+        for stripe in 0..l.stripes() {
+            assert!(out.shadow.parity_consistent(stripe), "stripe {stripe}");
+        }
+        // The declared unit's platter content was absorbed as defined:
+        // recovery leaves no *silent* divergence behind.
+        let int = out.integrity.expect("image carried integrity state");
+        assert_eq!(int.live(), 0);
+        assert_eq!(int.divergence(&out.shadow, &BTreeSet::new()), None);
+        assert_eq!(int.counters.declared, 1);
+        assert_eq!(int.counters.detected, 1);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Glue from simulation measurements to availability numbers.
 
-use afraid_avail::report::{AvailabilityReport, DesignKind, EvictionExposure, LatentExposure};
+use afraid_avail::report::{
+    AvailabilityReport, CorruptionExposure, DesignKind, EvictionExposure, LatentExposure,
+};
 
 use crate::config::ArrayConfig;
 use crate::metrics::RunMetrics;
@@ -68,6 +70,36 @@ pub fn eviction_exposure(cfg: &ArrayConfig, metrics: &RunMetrics) -> Option<Evic
     })
 }
 
+/// Silent-corruption exposure for a finished run, or `None` when no
+/// silent faults were injected (or the design's single-failure story
+/// already prices disk defects). The rate extrapolates the run's
+/// injected-fault count over its span. The unrepairable probability is
+/// the measured declared fraction of detections when the run verified
+/// reads or scrubs; an unverifying array never repairs anything, so
+/// every corruption is eventually a loss (`p = 1`).
+pub fn corruption_exposure(cfg: &ArrayConfig, metrics: &RunMetrics) -> Option<CorruptionExposure> {
+    let i = &metrics.integrity;
+    if i.injected_total() == 0 || design_kind(cfg.policy) == DesignKind::Raid0 {
+        return None;
+    }
+    let span_hours = metrics.span.as_secs_f64() / 3600.0;
+    if span_hours <= 0.0 {
+        return None;
+    }
+    let verifying = cfg.integrity.verify_reads || cfg.integrity.verify_scrub;
+    let p_unrepairable = if !verifying {
+        1.0
+    } else if i.detected > 0 {
+        i.declared as f64 / i.detected as f64
+    } else {
+        0.0
+    };
+    Some(CorruptionExposure {
+        rate_per_hour: i.injected_total() as f64 / span_hours,
+        p_unrepairable,
+    })
+}
+
 /// Builds the availability report for a finished run.
 pub fn availability(cfg: &ArrayConfig, metrics: &RunMetrics) -> AvailabilityReport {
     let kind = design_kind(cfg.policy);
@@ -75,7 +107,7 @@ pub fn availability(cfg: &ArrayConfig, metrics: &RunMetrics) -> AvailabilityRepo
         DesignKind::Afraid => (metrics.frac_unprotected, metrics.mean_parity_lag_bytes),
         _ => (0.0, 0.0),
     };
-    AvailabilityReport::build_with_exposures(
+    AvailabilityReport::build_with_corruption(
         kind,
         &cfg.params,
         cfg.n_data(),
@@ -83,6 +115,7 @@ pub fn availability(cfg: &ArrayConfig, metrics: &RunMetrics) -> AvailabilityRepo
         lag,
         latent_exposure(cfg, metrics),
         eviction_exposure(cfg, metrics),
+        corruption_exposure(cfg, metrics),
     )
 }
 
@@ -202,6 +235,64 @@ mod tests {
     fn raid0_never_reports_eviction_exposure() {
         let cfg = ArrayConfig::small_test(ParityPolicy::NeverRebuild);
         assert!(eviction_exposure(&cfg, &metrics_with_eviction()).is_none());
+    }
+
+    fn metrics_with_corruption(injected: u64, detected: u64, declared: u64) -> RunMetrics {
+        use crate::integrity::IntegrityCounters;
+        use crate::metrics::MetricsBuilder;
+        use afraid_sim::time::SimTime;
+        let mut b = MetricsBuilder::new(SimTime::ZERO);
+        b.set_integrity(IntegrityCounters {
+            injected_lost: injected,
+            detected,
+            repaired: detected - declared,
+            declared,
+            ..IntegrityCounters::default()
+        });
+        b.finish(SimTime::from_secs(3600))
+    }
+
+    #[test]
+    fn no_injection_means_no_corruption_exposure() {
+        let cfg = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        assert!(corruption_exposure(&cfg, &metrics_with(0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn corruption_exposure_uses_measured_rate_and_declared_fraction() {
+        let mut cfg = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        cfg.integrity.verify_reads = true;
+        let m = metrics_with_corruption(10, 8, 2);
+        let e = corruption_exposure(&cfg, &m).unwrap();
+        assert!(
+            (e.rate_per_hour - 10.0).abs() < 1e-12,
+            "{}",
+            e.rate_per_hour
+        );
+        assert!(
+            (e.p_unrepairable - 0.25).abs() < 1e-12,
+            "{}",
+            e.p_unrepairable
+        );
+        let r = availability(&cfg, &m);
+        assert!(r.mttdl_corrupt.is_finite());
+        assert!(r.mdlr_corrupt > 0.0);
+    }
+
+    #[test]
+    fn unverified_corruption_is_always_lost() {
+        // No verification: nothing is detected, and the model charges
+        // every injected fault as an eventual loss.
+        let cfg = ArrayConfig::small_test(ParityPolicy::IdleOnly);
+        let e = corruption_exposure(&cfg, &metrics_with_corruption(10, 0, 0))
+            .unwrap_or_else(|| panic!("injection with no verification must still report exposure"));
+        assert_eq!(e.p_unrepairable, 1.0);
+    }
+
+    #[test]
+    fn raid0_never_reports_corruption_exposure() {
+        let cfg = ArrayConfig::small_test(ParityPolicy::NeverRebuild);
+        assert!(corruption_exposure(&cfg, &metrics_with_corruption(10, 8, 2)).is_none());
     }
 
     #[test]

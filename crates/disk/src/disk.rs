@@ -116,6 +116,13 @@ impl Disk {
         self.faults = Some(injector);
     }
 
+    /// Mutable access to the installed fault process, if any. The
+    /// array layer uses this to draw the *silent* fates of its
+    /// commands — the disk itself only models the reported faults.
+    pub fn fault_injector_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.faults.as_mut()
+    }
+
     /// Switches patient mode: the fault process stops drawing faults
     /// and timeouts are not enforced, so commands always succeed —
     /// merely slowly, if a fail-slow window is active. Used while a

@@ -22,6 +22,15 @@
 //! With both rates zero and no window configured the injector draws
 //! no random numbers and changes no completion time, so a faultless
 //! run is bit-identical with or without it.
+//!
+//! Beyond the *reported* faults, the injector also models the silent
+//! classes — bit-flip reads, torn writes, lost writes, and misdirected
+//! writes ([`SilentProfile`]) — where the drive answers `Ok` while the
+//! bytes are wrong. Silent draws come from a second, independent
+//! `SplitMix64` stream so enabling them never perturbs the transient
+//! fault history, and zero rates again draw nothing. The injector only
+//! decides *that* a silent fault fired; the array layer above owns the
+//! content model and applies the effect.
 
 use afraid_sim::rng::SplitMix64;
 use afraid_sim::time::{SimDuration, SimTime};
@@ -106,12 +115,67 @@ pub enum Fault {
     Timeout,
 }
 
+/// Per-I/O rates for the *silent* fault classes: commands the drive
+/// acknowledges with `Ok` status while returning or persisting wrong
+/// bytes. These are the lying-disk modes a checksum layer exists to
+/// catch — the drive itself never reports them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SilentProfile {
+    /// Probability one read returns flipped bits (transient: the
+    /// platter is fine, only the transferred copy is wrong).
+    pub bit_flip_per_read: f64,
+    /// Probability one write persists only part of its payload.
+    pub torn_write_per_io: f64,
+    /// Probability one write is acknowledged but never reaches the
+    /// platter (the old contents survive).
+    pub lost_write_per_io: f64,
+    /// Probability one write lands on a neighbouring location instead
+    /// of its target (the target keeps its old contents and a victim
+    /// is clobbered).
+    pub misdirected_write_per_io: f64,
+}
+
+impl SilentProfile {
+    /// All rates zero: the profile draws nothing and injects nothing.
+    pub const NONE: SilentProfile = SilentProfile {
+        bit_flip_per_read: 0.0,
+        torn_write_per_io: 0.0,
+        lost_write_per_io: 0.0,
+        misdirected_write_per_io: 0.0,
+    };
+
+    /// True when any silent rate is non-zero.
+    pub fn active(&self) -> bool {
+        self.bit_flip_per_read > 0.0
+            || self.torn_write_per_io > 0.0
+            || self.lost_write_per_io > 0.0
+            || self.misdirected_write_per_io > 0.0
+    }
+}
+
+/// What one silent-write draw produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SilentWriteFault {
+    /// The write persisted faithfully.
+    None,
+    /// Only part of the payload reached the platter.
+    Torn,
+    /// The write was acknowledged but never persisted.
+    Lost,
+    /// The write landed on a neighbouring location.
+    Misdirected,
+}
+
 /// One disk's deterministic fault process.
 #[derive(Clone, Debug)]
 pub struct FaultInjector {
     profile: FaultProfile,
     rng: SplitMix64,
     fail_slow: Option<FailSlowWindow>,
+    /// Silent corruption rates, drawn from their own stream so turning
+    /// them on never perturbs the transient-fault draw sequence.
+    silent: SilentProfile,
+    silent_rng: SplitMix64,
     /// Patient mode: faults and timeout enforcement are bypassed (the
     /// controller is draining a condemned disk and will wait out any
     /// slowness rather than give up on it).
@@ -125,6 +189,8 @@ impl FaultInjector {
             profile,
             rng,
             fail_slow: None,
+            silent: SilentProfile::NONE,
+            silent_rng: SplitMix64::new(0),
             patient: false,
         }
     }
@@ -133,6 +199,22 @@ impl FaultInjector {
     pub fn with_fail_slow(mut self, window: FailSlowWindow) -> FaultInjector {
         self.fail_slow = Some(window);
         self
+    }
+
+    /// Adds silent corruption rates over their own (already forked)
+    /// RNG stream.
+    pub fn with_silent(mut self, silent: SilentProfile, rng: SplitMix64) -> FaultInjector {
+        self.silent = silent;
+        self.silent_rng = rng;
+        self
+    }
+
+    /// Installs silent corruption rates on an already-built injector
+    /// (the transient profile and its stream are untouched, so adding
+    /// corruption never perturbs an existing fault sequence).
+    pub fn set_silent(&mut self, silent: SilentProfile, rng: SplitMix64) {
+        self.silent = silent;
+        self.silent_rng = rng;
     }
 
     /// Switches patient mode on or off.
@@ -173,6 +255,45 @@ impl FaultInjector {
             return Fault::Timeout;
         }
         Fault::None
+    }
+
+    /// True when any silent corruption rate is configured.
+    pub fn silent_active(&self) -> bool {
+        self.silent.active()
+    }
+
+    /// Draws the silent fate of one write. Zero rates consume no
+    /// random numbers; patient mode draws nothing at all (a condemned
+    /// disk being drained is read-mostly and already on its way out).
+    pub fn draw_silent_write(&mut self) -> SilentWriteFault {
+        if self.patient {
+            return SilentWriteFault::None;
+        }
+        if self.silent.torn_write_per_io > 0.0
+            && self.silent_rng.chance(self.silent.torn_write_per_io)
+        {
+            return SilentWriteFault::Torn;
+        }
+        if self.silent.lost_write_per_io > 0.0
+            && self.silent_rng.chance(self.silent.lost_write_per_io)
+        {
+            return SilentWriteFault::Lost;
+        }
+        if self.silent.misdirected_write_per_io > 0.0
+            && self.silent_rng.chance(self.silent.misdirected_write_per_io)
+        {
+            return SilentWriteFault::Misdirected;
+        }
+        SilentWriteFault::None
+    }
+
+    /// Draws whether one read returns flipped bits. Zero rate consumes
+    /// no random numbers; patient mode never flips.
+    pub fn draw_read_flip(&mut self) -> bool {
+        if self.patient {
+            return false;
+        }
+        self.silent.bit_flip_per_read > 0.0 && self.silent_rng.chance(self.silent.bit_flip_per_read)
     }
 
     /// Resets the state that belonged to the physical unit after the
@@ -275,5 +396,90 @@ mod tests {
     #[should_panic(expected = "did not succeed")]
     fn expect_ok_panics_on_fault() {
         let _ = IoOutcome::MediaError(SimTime::ZERO).expect_ok();
+    }
+
+    fn silent(flip: f64, torn: f64, lost: f64, misdirected: f64) -> SilentProfile {
+        SilentProfile {
+            bit_flip_per_read: flip,
+            torn_write_per_io: torn,
+            lost_write_per_io: lost,
+            misdirected_write_per_io: misdirected,
+        }
+    }
+
+    #[test]
+    fn silent_profile_activity() {
+        assert!(!SilentProfile::NONE.active());
+        assert!(silent(0.0, 0.0, 1e-9, 0.0).active());
+        let inj = FaultInjector::new(profile(0.0, 0.0), SplitMix64::new(1));
+        assert!(!inj.silent_active());
+    }
+
+    #[test]
+    fn certain_silent_rates_draw_their_faults() {
+        let mk = |p| {
+            FaultInjector::new(profile(0.0, 0.0), SplitMix64::new(1))
+                .with_silent(p, SplitMix64::new(2))
+        };
+        assert_eq!(
+            mk(silent(0.0, 1.0, 0.0, 0.0)).draw_silent_write(),
+            SilentWriteFault::Torn
+        );
+        assert_eq!(
+            mk(silent(0.0, 0.0, 1.0, 0.0)).draw_silent_write(),
+            SilentWriteFault::Lost
+        );
+        assert_eq!(
+            mk(silent(0.0, 0.0, 0.0, 1.0)).draw_silent_write(),
+            SilentWriteFault::Misdirected
+        );
+        assert!(mk(silent(1.0, 0.0, 0.0, 0.0)).draw_read_flip());
+    }
+
+    #[test]
+    fn zero_silent_rates_never_corrupt() {
+        let mut inj = FaultInjector::new(profile(0.0, 0.0), SplitMix64::new(7));
+        for _ in 0..100 {
+            assert_eq!(inj.draw_silent_write(), SilentWriteFault::None);
+            assert!(!inj.draw_read_flip());
+        }
+    }
+
+    /// The silent stream is independent of the transient stream:
+    /// interleaving silent draws never changes the transient sequence.
+    #[test]
+    fn silent_draws_do_not_perturb_transient_draws() {
+        let mut plain = FaultInjector::new(profile(0.3, 0.2), SplitMix64::new(99));
+        let mut mixed = FaultInjector::new(profile(0.3, 0.2), SplitMix64::new(99))
+            .with_silent(silent(0.5, 0.5, 0.2, 0.1), SplitMix64::new(123));
+        for _ in 0..200 {
+            let _ = mixed.draw_silent_write();
+            let _ = mixed.draw_read_flip();
+            assert_eq!(plain.draw(), mixed.draw());
+        }
+    }
+
+    #[test]
+    fn silent_draws_are_deterministic_per_seed() {
+        let mk = || {
+            FaultInjector::new(profile(0.0, 0.0), SplitMix64::new(1))
+                .with_silent(silent(0.3, 0.2, 0.1, 0.05), SplitMix64::new(77))
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..200 {
+            assert_eq!(a.draw_silent_write(), b.draw_silent_write());
+            assert_eq!(a.draw_read_flip(), b.draw_read_flip());
+        }
+    }
+
+    #[test]
+    fn patient_mode_bypasses_silent_draws() {
+        let mut inj = FaultInjector::new(profile(0.0, 0.0), SplitMix64::new(1))
+            .with_silent(silent(1.0, 1.0, 1.0, 1.0), SplitMix64::new(2));
+        inj.set_patient(true);
+        assert_eq!(inj.draw_silent_write(), SilentWriteFault::None);
+        assert!(!inj.draw_read_flip());
+        inj.set_patient(false);
+        assert_ne!(inj.draw_silent_write(), SilentWriteFault::None);
     }
 }

@@ -23,8 +23,10 @@
 //! * **Request schedulers** — FCFS, CLOOK, SSTF and SCAN ([`sched`]);
 //!   the paper uses CLOOK in the host driver and FCFS at the back end.
 //! * **Transient faults** — an optional deterministic per-I/O fault
-//!   process: media errors, command timeouts and fail-slow service
-//!   inflation ([`fault`]).
+//!   process: media errors, command timeouts, fail-slow service
+//!   inflation, and the silent classes (bit-flip reads, torn / lost /
+//!   misdirected writes) that a checksum layer exists to catch
+//!   ([`fault`]).
 //!
 //! The model is deterministic: a request's service time depends only on
 //! the disk state and the simulated clock.
@@ -39,7 +41,9 @@ pub mod seek;
 
 pub use cache::SegmentedCache;
 pub use disk::{Disk, DiskRequest, DiskStats, OpKind};
-pub use fault::{FailSlowWindow, FaultInjector, FaultProfile, IoOutcome};
+pub use fault::{
+    FailSlowWindow, FaultInjector, FaultProfile, IoOutcome, SilentProfile, SilentWriteFault,
+};
 pub use geometry::{Chs, Geometry, Zone};
 pub use model::DiskModel;
 pub use sched::{Policy, Scheduler};

@@ -50,6 +50,7 @@ const D1_EXEMPT_CRATES: &[&str] = &["bench"];
 /// Event-loop hot-path files under the D3 panic budget.
 const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/controller.rs",
+    "crates/core/src/integrity.rs",
     "crates/disk/src/sched.rs",
     "crates/sim/src/queue.rs",
 ];

@@ -33,7 +33,7 @@ USAGE:
 
 CHAOS OPTIONS:
     --scenario <name>     baseline | scrub | rebuild | evict | nvram |
-                          all (default: all)
+                          corrupt | all (default: all)
     --cuts <n>            cut points per scenario, spread evenly over
                           the run (default: 256)
     --secs <n>            simulated trace duration (default: 5; chaos
@@ -86,6 +86,12 @@ RUN OPTIONS:
                           for w seconds (trips the health scoreboard)
     --evict-threshold <t> EWMA fault score that condemns a disk for
                           proactive eviction (default: 0 = never evict)
+    --corrupt <p>         disks lie: each silent-fault class (torn, lost,
+                          misdirected write; read bit-flip) fires with
+                          per-I/O probability p (default: 0, disks honest)
+    --verify-reads        checksum-verify every read and scrub pass;
+                          detected corruption is repaired from parity or
+                          declared (without this, corrupt reads are silent)
     --json                emit the full result as JSON
 ";
 
@@ -435,6 +441,7 @@ fn run(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut scrub = afraid::config::ScrubConfig::default();
     let mut faults = afraid::config::FaultConfig::default();
+    let mut integrity = afraid::config::IntegrityConfig::default();
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -578,6 +585,19 @@ fn run(args: &[String]) -> ExitCode {
                     None => return ExitCode::FAILURE,
                 }
             }
+            "--corrupt" => match value("--corrupt").and_then(|v| v.parse::<f64>().ok()) {
+                Some(p) => {
+                    integrity.bit_flip_per_read = p;
+                    integrity.torn_write_per_io = p;
+                    integrity.lost_write_per_io = p;
+                    integrity.misdirected_write_per_io = p;
+                }
+                None => return ExitCode::FAILURE,
+            },
+            "--verify-reads" => {
+                integrity.verify_reads = true;
+                integrity.verify_scrub = true;
+            }
             "--json" => json = true,
             other => {
                 eprintln!("unknown option '{other}'");
@@ -591,6 +611,12 @@ fn run(args: &[String]) -> ExitCode {
     cfg.disks = disks;
     cfg.scrub = scrub;
     cfg.faults = faults;
+    cfg.integrity = integrity;
+    // Checksums are kept against the intended contents, so injection
+    // and verification both need the shadow content model.
+    if cfg.integrity.active() {
+        cfg.shadow = true;
+    }
     if let Err(e) = cfg.validate() {
         eprintln!("invalid configuration: {e}");
         return ExitCode::FAILURE;
@@ -678,6 +704,25 @@ fn run(args: &[String]) -> ExitCode {
             );
         }
     }
+    if cfg.integrity.active() {
+        let i = &m.integrity;
+        println!(
+            "integrity    {} silent faults injected ({} torn, {} lost, {} misdirected, {} victim)",
+            i.injected_total(),
+            i.injected_torn,
+            i.injected_lost,
+            i.injected_misdirected,
+            i.injected_victim
+        );
+        println!(
+            "             {} detected: {} repaired byte-exactly, {} declared; {} erased by overwrite",
+            i.detected, i.repaired, i.declared, i.self_healed
+        );
+        println!(
+            "             {} silent reads, {} false positives ({} units verified, {} flips re-read)",
+            i.silent_reads, i.false_positives, i.verified_units, i.flip_repairs
+        );
+    }
     let avail = availability(&cfg, m);
     println!(
         "MTTDL        disk-related {:.2e} h, overall {:.2e} h",
@@ -693,6 +738,12 @@ fn run(args: &[String]) -> ExitCode {
         println!(
             "MTTDL evict  {:.2e} h ({:.3} B/h)",
             avail.mttdl_evict, avail.mdlr_evict
+        );
+    }
+    if avail.mttdl_corrupt.is_finite() {
+        println!(
+            "MTTDL corrupt {:.2e} h ({:.3} B/h)",
+            avail.mttdl_corrupt, avail.mdlr_corrupt
         );
     }
     println!(

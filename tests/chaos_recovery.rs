@@ -96,6 +96,29 @@ fn nvram_loss_detects_unrecoverable_stripes() {
     assert!(s.cuts_with_declared_loss >= s.cuts_with_true_loss, "{s:?}");
 }
 
+/// Power loss while disks are silently lying: cuts land with live,
+/// undispositioned corruption in the registry, and the power-on
+/// checksum cross-check finishes the job — repairing byte-exactly
+/// where redundancy allows, declaring where it does not, and never
+/// letting a corrupt word survive recovery unflagged (invariant 5).
+#[test]
+fn crash_with_live_corruption_recovers() {
+    let s = assert_all_pass(Scenario::Corruption, 5, 64);
+    assert!(
+        s.cuts_with_live_corruption > 0,
+        "no cut caught live rot; the cross-check was never exercised: {s:?}"
+    );
+    assert!(
+        s.corrupt_repaired > 0,
+        "no recovery-time repair exercised: {s:?}"
+    );
+    assert!(
+        s.corrupt_declared > 0,
+        "no recovery-time declaration exercised: {s:?}"
+    );
+    assert_eq!(s.silent_reads, 0, "verify-on-read let a lie through: {s:?}");
+}
+
 /// The acceptance sweep: ≥1000 cut points per trace across the three
 /// crash scenarios, every one recovering byte-identically.
 #[test]
@@ -131,18 +154,27 @@ fn thousand_cut_acceptance_sweep() {
 }
 
 /// Verdicts are a pure function of the cut coordinate: a jobs=1 and a
-/// jobs=4 sweep serialize byte-identically.
+/// jobs=4 sweep serialize byte-identically. The corruption scenario
+/// rides along because its per-disk silent-fault streams are the most
+/// recent determinism hazard.
 #[test]
 fn sweep_is_bit_identical_across_jobs() {
-    let spec = Scenario::Rebuild.spec(SimDuration::from_secs(1), SEED);
-    let trace = spec.trace();
-    let total = spec.total_events(&trace);
-    let cuts = cut_points(total, 48);
-    let seq = sweep(&spec, &trace, &cuts, 1, None);
-    let par = sweep(&spec, &trace, &cuts, 4, None);
-    let a = serde_json::to_string(&seq).unwrap();
-    let b = serde_json::to_string(&par).unwrap();
-    assert_eq!(a, b, "jobs=1 vs jobs=4 sweeps diverged");
+    for scenario in [Scenario::Rebuild, Scenario::Corruption] {
+        let spec = scenario.spec(SimDuration::from_secs(1), SEED);
+        let trace = spec.trace();
+        let total = spec.total_events(&trace);
+        let cuts = cut_points(total, 48);
+        let seq = sweep(&spec, &trace, &cuts, 1, None);
+        let par = sweep(&spec, &trace, &cuts, 4, None);
+        let a = serde_json::to_string(&seq).unwrap();
+        let b = serde_json::to_string(&par).unwrap();
+        assert_eq!(
+            a,
+            b,
+            "{}: jobs=1 vs jobs=4 sweeps diverged",
+            scenario.name()
+        );
+    }
 }
 
 /// A cut past the natural end of the run is a crash of a quiesced

@@ -196,6 +196,7 @@ proptest! {
             None,
             &RegionMap::none(),
             Some(&latent),
+            None,
             failed_disk,
             at,
         );
@@ -226,6 +227,7 @@ proptest! {
             None,
             &RegionMap::none(),
             Some(&latent),
+            None,
             failed_disk,
             at,
         );

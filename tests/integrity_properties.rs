@@ -1,0 +1,165 @@
+//! Property-based tests of the end-to-end integrity contract.
+//!
+//! `tests/integrity.rs` proves the contract on one curated trace;
+//! here it must survive *randomly generated* workloads, fault rates,
+//! and policies: every injected silent fault is dispositioned, no
+//! clean unit ever trips a checksum, and the whole pipeline stays
+//! byte-identical under parallel execution.
+
+use afraid::config::ArrayConfig;
+use afraid::driver::{run_trace, RunOptions, RunResult};
+use afraid::policy::ParityPolicy;
+use afraid_exp::{generate_traces, run_matrix};
+use afraid_sim::time::SimTime;
+use afraid_trace::record::{IoRecord, ReqKind, Trace};
+use afraid_trace::workloads::WorkloadKind;
+use proptest::prelude::*;
+
+/// Capacity of the `small_test` array (2500 stripes x 4 x 8 KB).
+const CAP: u64 = 2500 * 4 * 8192;
+
+/// A random request: arrival gap (ms), unit index, length units, write?
+#[derive(Clone, Debug)]
+struct Req {
+    gap_ms: u64,
+    unit: u64,
+    units: u64,
+    write: bool,
+}
+
+fn req_strategy() -> impl Strategy<Value = Req> {
+    (0u64..200, 0u64..9_990, 1u64..8, any::<bool>()).prop_map(|(gap_ms, unit, units, write)| Req {
+        gap_ms,
+        unit,
+        units,
+        write,
+    })
+}
+
+fn build_trace(reqs: &[Req]) -> Trace {
+    let mut t = Trace::new("prop", CAP);
+    let mut now = 0u64;
+    for r in reqs {
+        now += r.gap_ms;
+        let offset = (r.unit * 8192).min(CAP - 8 * 8192);
+        t.push(IoRecord {
+            time: SimTime::from_millis(now),
+            offset,
+            bytes: r.units * 8192,
+            kind: if r.write {
+                ReqKind::Write
+            } else {
+                ReqKind::Read
+            },
+        });
+    }
+    t
+}
+
+/// Parity-bearing policies only: integrity repair reconstructs from
+/// parity, and the chaos/bench suites never arm injection on RAID 0.
+fn policies() -> impl Strategy<Value = ParityPolicy> {
+    prop_oneof![
+        Just(ParityPolicy::IdleOnly),
+        Just(ParityPolicy::AlwaysRaid5),
+        (16u64..(1 << 22)).prop_map(|b| ParityPolicy::Conservative { lag_bound_bytes: b }),
+    ]
+}
+
+fn verified_cfg(policy: ParityPolicy) -> ArrayConfig {
+    let mut cfg = ArrayConfig::small_test(policy);
+    cfg.integrity.verify_reads = true;
+    cfg.integrity.verify_scrub = true;
+    cfg.scrub.enabled = true;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The accounting closes under any workload, policy, and fault
+    /// mix: no silent reads, no false positives, and every injected
+    /// fault is either detected (then repaired or declared) or erased
+    /// by a client overwrite before anything read it.
+    #[test]
+    fn every_injected_fault_is_dispositioned(
+        reqs in prop::collection::vec(req_strategy(), 1..50),
+        policy in policies(),
+        flip in 0.0..1e-2f64,
+        torn in 0.0..5e-2f64,
+        lost in 0.0..5e-2f64,
+        misdirected in 0.0..3e-2f64,
+    ) {
+        let trace = build_trace(&reqs);
+        let mut cfg = verified_cfg(policy);
+        cfg.integrity.bit_flip_per_read = flip;
+        cfg.integrity.torn_write_per_io = torn;
+        cfg.integrity.lost_write_per_io = lost;
+        cfg.integrity.misdirected_write_per_io = misdirected;
+        let m = run_trace(&cfg, &trace, &RunOptions::default()).metrics;
+        let i = m.integrity;
+        prop_assert_eq!(i.silent_reads, 0, "silent read: {:?}", i);
+        prop_assert_eq!(i.false_positives, 0, "checksum cried wolf: {:?}", i);
+        prop_assert_eq!(i.resolved_total(), i.injected_total(), "{:?}", i);
+        prop_assert_eq!(i.detected, i.repaired + i.declared, "{:?}", i);
+    }
+
+    /// A clean array under full verification never reports anything:
+    /// the checksum map cannot false-positive, whatever the workload.
+    #[test]
+    fn clean_runs_never_false_positive(
+        reqs in prop::collection::vec(req_strategy(), 1..50),
+        policy in policies(),
+    ) {
+        let trace = build_trace(&reqs);
+        let cfg = verified_cfg(policy);
+        let m = run_trace(&cfg, &trace, &RunOptions::default()).metrics;
+        let i = m.integrity;
+        prop_assert_eq!(i.injected_total(), 0, "{:?}", i);
+        prop_assert_eq!(i.detected, 0, "{:?}", i);
+        prop_assert_eq!(i.false_positives, 0, "{:?}", i);
+        prop_assert_eq!(i.silent_reads, 0, "{:?}", i);
+    }
+}
+
+/// Serializes a (trace × policy) matrix run with injection active.
+fn corrupt_matrix_blob(jobs: usize) -> String {
+    let duration = afraid_sim::time::SimDuration::from_secs(20);
+    let kinds = [WorkloadKind::Att, WorkloadKind::Snake];
+    let traces = generate_traces(jobs, &kinds, CAP, duration, 0xAF1D_0008);
+    let policies = [
+        ("afraid", ParityPolicy::IdleOnly),
+        ("raid5", ParityPolicy::AlwaysRaid5),
+    ];
+    let rows: Vec<Vec<RunResult>> =
+        run_matrix(jobs, &traces, &policies, |trace, (_, policy), _| {
+            let mut cfg = verified_cfg(*policy);
+            cfg.integrity.bit_flip_per_read = 5e-3;
+            cfg.integrity.torn_write_per_io = 3e-2;
+            cfg.integrity.lost_write_per_io = 3e-2;
+            cfg.integrity.misdirected_write_per_io = 2e-2;
+            run_trace(&cfg, trace, &RunOptions::default())
+        });
+    let mut blob = String::new();
+    for row in &rows {
+        for result in row {
+            blob.push_str(&serde_json::to_string(result).expect("RunResult serializes"));
+            blob.push('\n');
+        }
+    }
+    blob
+}
+
+/// Silent-fault injection draws from per-disk forked streams, so the
+/// full serialized matrix — integrity counters included — must be
+/// byte-identical at any `--jobs` count.
+#[test]
+fn corrupt_matrix_is_bit_identical_across_jobs() {
+    let seq = corrupt_matrix_blob(1);
+    let par = corrupt_matrix_blob(4);
+    assert_eq!(seq, par, "jobs=4 produced different bytes than jobs=1");
+    assert!(
+        seq.contains("injected"),
+        "integrity block missing from serialized results"
+    );
+}
