@@ -3,6 +3,7 @@
 use afraid_avail::params::ModelParams;
 use afraid_disk::model::DiskModel;
 use afraid_disk::sched::Policy;
+use afraid_sim::queue::SchedulerKind;
 use afraid_sim::time::{SimDuration, SimTime};
 
 use crate::nvram::MarkGranularity;
@@ -54,6 +55,11 @@ pub struct ArrayConfig {
     pub faults: FaultConfig,
     /// Silent-corruption injection and checksum verification knobs.
     pub integrity: IntegrityConfig,
+    /// Event-queue scheduler backend. A pure performance switch: the
+    /// heap and calendar backends deliver identical event sequences
+    /// (enforced by the scheduler-equivalence tier-1 tests), so run
+    /// results are byte-identical whichever is chosen.
+    pub scheduler: SchedulerKind,
 }
 
 /// Configuration of the latent sector error process and the
@@ -247,6 +253,7 @@ impl ArrayConfig {
             scrub: ScrubConfig::default(),
             faults: FaultConfig::default(),
             integrity: IntegrityConfig::default(),
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -270,6 +277,7 @@ impl ArrayConfig {
             scrub: ScrubConfig::default(),
             faults: FaultConfig::default(),
             integrity: IntegrityConfig::default(),
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -485,6 +493,11 @@ mod tests {
             ("integrity.verify_reads", {
                 let mut c = base.clone();
                 c.integrity.verify_reads = true;
+                c
+            }),
+            ("scheduler", {
+                let mut c = base.clone();
+                c.scheduler = SchedulerKind::Calendar;
                 c
             }),
         ];

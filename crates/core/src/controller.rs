@@ -385,6 +385,8 @@ pub struct Controller {
     scratch_slices: Vec<UnitSlice>,
     scratch_ios: Vec<PlannedIo>,
     scratch_stripes: Vec<u64>,
+    /// Completion-event accumulator reused by [`Controller::submit_batch`].
+    scratch_events: Vec<(SimTime, Ev)>,
     /// Per-disk extent accumulator reused by scrub batch planning.
     scrub_extents: Vec<Vec<(u64, u64)>>,
     /// Retired request shells whose vectors keep their capacity.
@@ -530,7 +532,7 @@ impl Controller {
             reqs: Vec::new(),
             free_slots: Vec::new(),
             admitted: 0,
-            events: EventQueue::new(),
+            events: EventQueue::with_scheduler(cfg.scheduler),
             now: SimTime::ZERO,
             idle_event: None,
             scrub: None,
@@ -565,6 +567,7 @@ impl Controller {
             scratch_slices: Vec::new(),
             scratch_ios: Vec::new(),
             scratch_stripes: Vec::new(),
+            scratch_events: Vec::new(),
             scrub_extents: Vec::new(),
             req_pool: Vec::new(),
             cfg,
@@ -885,9 +888,7 @@ impl Controller {
         }
         self.scratch_slices = slices;
         self.req_mut(slot).pending = ios.len() as u32;
-        for io in ios.drain(..) {
-            self.submit(io, Ev::ClientIo { req: slot });
-        }
+        self.submit_batch(&mut ios, Ev::ClientIo { req: slot });
         self.scratch_ios = ios;
     }
 
@@ -1131,9 +1132,7 @@ impl Controller {
             self.scratch_ios = prereads;
         } else {
             self.req_mut(slot).pending = prereads.len() as u32;
-            for io in prereads.drain(..) {
-                self.submit(io, Ev::ClientIo { req: slot });
-            }
+            self.submit_batch(&mut prereads, Ev::ClientIo { req: slot });
             self.scratch_ios = prereads;
         }
     }
@@ -1339,9 +1338,7 @@ impl Controller {
         self.integrity = integrity_opt;
         self.scratch_stripes = rebuilt;
 
-        for io in writes.drain(..) {
-            self.submit(io, Ev::ClientIo { req: slot });
-        }
+        self.submit_batch(&mut writes, Ev::ClientIo { req: slot });
         // Hand the (now empty) plan buffers back to the request so the
         // shell pool recycles their capacity. The slot is still live:
         // completions only arrive via the event queue.
@@ -1795,12 +1792,40 @@ impl Controller {
     }
 
     fn submit(&mut self, io: PlannedIo, ev: Ev) {
+        let (at, ev) = self.submit_planned(io, ev);
+        self.events.schedule(at, ev);
+    }
+
+    /// Submits a burst of planned I/Os that share one completion event,
+    /// admitting every resulting completion into the event queue in a
+    /// single [`EventQueue::schedule_batch`] maintenance pass.
+    ///
+    /// Drains `ios` (so callers can hand back a scratch buffer) and
+    /// processes them in order: disk submission, metrics, and flight
+    /// bookkeeping happen per I/O exactly as a loop of
+    /// [`Controller::submit`] calls would, and event sequence numbers
+    /// are assigned in the same order — batching is invisible to the
+    /// simulation result.
+    fn submit_batch(&mut self, ios: &mut Vec<PlannedIo>, ev: Ev) {
+        let mut batch = std::mem::take(&mut self.scratch_events);
+        for io in ios.drain(..) {
+            let planned = self.submit_planned(io, ev);
+            batch.push(planned);
+        }
+        self.events.schedule_batch(batch.drain(..));
+        self.scratch_events = batch;
+    }
+
+    /// Plans the completion of one disk I/O without touching the event
+    /// queue: submits to the disk, records metrics, opens a retry
+    /// flight when the attempt drew a fault, and returns the `(time,
+    /// event)` pair the caller must schedule.
+    fn submit_planned(&mut self, io: PlannedIo, ev: Ev) -> (SimTime, Ev) {
         if self.disk(io.disk).is_failed() {
             // The controller knows the disk is dead: in-flight plans
             // that still reference it complete immediately with an
             // error (no physical I/O). New plans avoid dead disks.
-            self.events.schedule(self.now + FAILED_IO_LATENCY, ev);
-            return;
+            return (self.now + FAILED_IO_LATENCY, ev);
         }
         let now = self.now;
         let outcome = self.disk_mut(io.disk).submit(
@@ -1815,12 +1840,14 @@ impl Controller {
         match outcome {
             IoOutcome::Ok(done) => {
                 self.note_disk_ok(io.disk);
-                self.events.schedule(done, ev);
+                (done, ev)
             }
             IoOutcome::MediaError(report) => {
-                self.open_flight(io, ev, FlightOutcome::MediaError, report)
+                (report, self.open_flight(io, ev, FlightOutcome::MediaError))
             }
-            IoOutcome::Timeout(report) => self.open_flight(io, ev, FlightOutcome::Timeout, report),
+            IoOutcome::Timeout(report) => {
+                (report, self.open_flight(io, ev, FlightOutcome::Timeout))
+            }
             // `is_failed` was checked above; a failure event cannot
             // interleave because the machine is single-threaded.
             IoOutcome::Failed => unreachable!("submit raced a disk failure"),
@@ -1838,8 +1865,9 @@ impl Controller {
     }
 
     /// Installs retry state for an I/O whose first attempt drew a
-    /// fault; its completion is deferred to the fault's report time.
-    fn open_flight(&mut self, io: PlannedIo, done: Ev, last: FlightOutcome, report: SimTime) {
+    /// fault, and returns the `IoDone` event the caller schedules at
+    /// the fault's report time.
+    fn open_flight(&mut self, io: PlannedIo, done: Ev, last: FlightOutcome) -> Ev {
         let id = self.next_flight_id;
         self.next_flight_id += 1;
         self.flights.insert(
@@ -1852,7 +1880,7 @@ impl Controller {
                 last,
             },
         );
-        self.events.schedule(report, Ev::IoDone { flight: id });
+        Ev::IoDone { flight: id }
     }
 
     /// A faulted I/O reached its report time: deliver the completion
@@ -2034,21 +2062,21 @@ impl Controller {
         // The one failed read becomes `disks - 1` survivor reads, all
         // completing into the same request slot.
         self.req_mut(req).pending += self.cfg.disks - 2;
+        let mut ios = std::mem::take(&mut self.scratch_ios);
         for disk in 0..self.cfg.disks {
             if disk == fl.io.disk {
                 continue;
             }
-            self.submit(
-                PlannedIo {
-                    disk,
-                    lba: fl.io.lba,
-                    sectors: fl.io.sectors,
-                    op: OpKind::Read,
-                    cause: IoCause::ReconstructRead,
-                },
-                Ev::ClientIo { req },
-            );
+            ios.push(PlannedIo {
+                disk,
+                lba: fl.io.lba,
+                sectors: fl.io.sectors,
+                op: OpKind::Read,
+                cause: IoCause::ReconstructRead,
+            });
         }
+        self.submit_batch(&mut ios, Ev::ClientIo { req });
+        self.scratch_ios = ios;
         self.submit(
             PlannedIo {
                 disk: fl.io.disk,
@@ -2331,22 +2359,21 @@ impl Controller {
             }
         }
 
-        let mut pending = 0u32;
+        let mut ios = std::mem::take(&mut self.scratch_ios);
         for (d, extents) in per_disk.iter_mut().enumerate() {
             for (lba, sectors) in extents.drain(..) {
-                self.submit(
-                    PlannedIo {
-                        disk: d as u32,
-                        lba,
-                        sectors,
-                        op: OpKind::Read,
-                        cause: IoCause::ScrubRead,
-                    },
-                    Ev::ScrubIo { batch: batch_id },
-                );
-                pending += 1;
+                ios.push(PlannedIo {
+                    disk: d as u32,
+                    lba,
+                    sectors,
+                    op: OpKind::Read,
+                    cause: IoCause::ScrubRead,
+                });
             }
         }
+        let pending = ios.len() as u32;
+        self.submit_batch(&mut ios, Ev::ScrubIo { batch: batch_id });
+        self.scratch_ios = ios;
         self.scrub_extents = per_disk;
         debug_assert!(pending > 0);
         self.scrub = Some(ScrubState {
@@ -2399,9 +2426,7 @@ impl Controller {
         }
         scrub.pending = ios.len() as u32;
         self.scrub = Some(scrub);
-        for io in ios.drain(..) {
-            self.submit(io, Ev::ScrubIo { batch: batch_id });
-        }
+        self.submit_batch(&mut ios, Ev::ScrubIo { batch: batch_id });
         self.scratch_ios = ios;
     }
 
@@ -2536,18 +2561,18 @@ impl Controller {
         self.next_batch_id += 1;
         let lba = self.layout.stripe_lba(first_stripe);
         let sectors = stripes * self.layout.unit_sectors();
+        let mut ios = std::mem::take(&mut self.scratch_ios);
         for disk in 0..self.cfg.disks {
-            self.submit(
-                PlannedIo {
-                    disk,
-                    lba,
-                    sectors,
-                    op: OpKind::Read,
-                    cause: IoCause::TourRead,
-                },
-                Ev::TourIo { batch: batch_id },
-            );
+            ios.push(PlannedIo {
+                disk,
+                lba,
+                sectors,
+                op: OpKind::Read,
+                cause: IoCause::TourRead,
+            });
         }
+        self.submit_batch(&mut ios, Ev::TourIo { batch: batch_id });
+        self.scratch_ios = ios;
         self.tour_batch = Some(TourBatch {
             batch_id,
             first_stripe,
@@ -2651,18 +2676,16 @@ impl Controller {
         };
         tb.phase = ScrubPhase::Write;
         tb.pending = repairs.len() as u32;
-        for (disk, sector) in repairs {
-            self.submit(
-                PlannedIo {
-                    disk,
-                    lba: sector,
-                    sectors: 1,
-                    op: OpKind::Write,
-                    cause: IoCause::LatentRepairWrite,
-                },
-                Ev::TourIo { batch: batch_id },
-            );
-        }
+        let mut ios = std::mem::take(&mut self.scratch_ios);
+        ios.extend(repairs.iter().map(|&(disk, sector)| PlannedIo {
+            disk,
+            lba: sector,
+            sectors: 1,
+            op: OpKind::Write,
+            cause: IoCause::LatentRepairWrite,
+        }));
+        self.submit_batch(&mut ios, Ev::TourIo { batch: batch_id });
+        self.scratch_ios = ios;
     }
 
     fn finish_tour_batch(&mut self) {
@@ -2878,23 +2901,22 @@ impl Controller {
         self.next_batch_id += 1;
         let lba = self.layout.stripe_lba(start);
         let sectors = (end - start) * self.layout.unit_sectors();
-        let mut pending = 0u32;
+        let mut ios = std::mem::take(&mut self.scratch_ios);
         for disk in 0..self.cfg.disks {
             if disk == failed {
                 continue;
             }
-            self.submit(
-                PlannedIo {
-                    disk,
-                    lba,
-                    sectors,
-                    op: OpKind::Read,
-                    cause: IoCause::RebuildRead,
-                },
-                Ev::RebuildIo { batch: batch_id },
-            );
-            pending += 1;
+            ios.push(PlannedIo {
+                disk,
+                lba,
+                sectors,
+                op: OpKind::Read,
+                cause: IoCause::RebuildRead,
+            });
         }
+        let pending = ios.len() as u32;
+        self.submit_batch(&mut ios, Ev::RebuildIo { batch: batch_id });
+        self.scratch_ios = ios;
         if let Some(Degraded {
             rebuild: Some(rb), ..
         }) = &mut self.degraded

@@ -115,9 +115,15 @@ impl<'a> TraceRun<'a> {
         if let Some(at) = opts.fail_nvram {
             c.events.schedule(at, Ev::FailNvram);
         }
-        for &(at, offset, bytes) in &opts.parity_points {
-            c.events.schedule(at, Ev::ParityPoint { offset, bytes });
-        }
+        // The commit-barrier timeline is pre-scheduled in one batch:
+        // a commit-heavy client can request thousands of parity points
+        // over a run, and admitting them per-event would pay the
+        // queue's maintenance cost once per barrier up front.
+        c.events.schedule_batch(
+            opts.parity_points
+                .iter()
+                .map(|&(at, offset, bytes)| (at, Ev::ParityPoint { offset, bytes })),
+        );
 
         if let Some(first) = trace.records.first() {
             c.events.schedule(first.time, Ev::Arrive);

@@ -1,20 +1,38 @@
-//! Deterministic event queue with cancellation.
+//! Deterministic event queue with cancellation and pluggable schedulers.
 //!
 //! The queue orders events by `(time, insertion sequence)`: events
 //! scheduled for the same instant are delivered in the order they were
 //! scheduled. This tie-break is what makes whole-simulation runs
-//! reproducible — a plain binary heap over time alone would deliver
-//! same-time events in an unspecified order.
+//! reproducible — a plain priority structure over time alone would
+//! deliver same-time events in an unspecified order.
+//!
+//! Two interchangeable scheduler backends implement that contract
+//! (selected by [`SchedulerKind`]):
+//!
+//! * **Heap** — a `BinaryHeap` paying O(log n) per schedule/pop. The
+//!   always-available fallback and the default.
+//! * **Calendar** — a Brown-style bucketed time wheel
+//!   ([`calendar`]), amortised O(1) per operation for the
+//!   near-uniform event spacing disk traces produce.
+//!
+//! Because `(time, seq)` is a *total* order (sequences are unique), the
+//! delivered event sequence is identical whichever backend is chosen —
+//! the determinism tests diff whole serialized runs across the two to
+//! enforce exactly that.
 //!
 //! Cancellation is lazy and `O(1)`: the queue tracks the set of
 //! *pending* ids (scheduled, not yet delivered or cancelled), and
-//! [`EventQueue::cancel`] simply removes the id from that set. A heap
+//! [`EventQueue::cancel`] simply removes the id from that set. A stored
 //! entry whose id is no longer pending is a tombstone; [`EventQueue::pop`]
 //! and [`EventQueue::peek_time`] discard tombstones as they surface at
-//! the top of the heap, so each cancelled entry is swept exactly once
-//! over its lifetime (`O(log n)` amortised, counted by
-//! [`EventQueue::scan_ops`]). Timers that are re-armed frequently (the
-//! idle detector) rely on this being cheap.
+//! the front, so each cancelled entry is swept exactly once over its
+//! lifetime (counted by [`EventQueue::scan_ops`]). Timers that are
+//! re-armed frequently (the idle detector) rely on this being cheap.
+//!
+//! [`EventQueue::schedule_batch`] admits a burst of events in one
+//! maintenance pass — a single heapify-and-merge for the heap, a single
+//! resize check for the calendar — instead of paying per-event
+//! maintenance; the controller uses it for multi-disk I/O bursts.
 
 use std::cmp::Ordering;
 use std::cmp::Reverse;
@@ -23,11 +41,47 @@ use std::collections::BinaryHeap;
 use crate::hash::U64Set;
 use crate::time::SimTime;
 
+pub mod calendar;
+
 /// Opaque handle identifying a scheduled event, used to cancel it.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventId(u64);
 
-/// Heap entry: ordered by time, then by insertion sequence.
+/// Which scheduler backend an [`EventQueue`] runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SchedulerKind {
+    /// Binary heap: O(log n) per op, the always-available fallback.
+    #[default]
+    Heap,
+    /// Calendar queue: amortised O(1) bucketed time wheel.
+    Calendar,
+}
+
+impl SchedulerKind {
+    /// Both backends, heap first.
+    pub fn all() -> [SchedulerKind; 2] {
+        [SchedulerKind::Heap, SchedulerKind::Calendar]
+    }
+
+    /// CLI/JSON name: `"heap"` or `"calendar"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Heap => "heap",
+            SchedulerKind::Calendar => "calendar",
+        }
+    }
+
+    /// Parses a CLI/JSON name produced by [`SchedulerKind::name`].
+    pub fn parse(name: &str) -> Option<SchedulerKind> {
+        match name {
+            "heap" => Some(SchedulerKind::Heap),
+            "calendar" => Some(SchedulerKind::Calendar),
+            _ => None,
+        }
+    }
+}
+
+/// Stored entry: ordered by time, then by insertion sequence.
 struct Entry<E> {
     time: SimTime,
     seq: u64,
@@ -54,6 +108,30 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// The scheduler backend. The wrapper owns the pending-id set, the
+/// sequence counter, and the tombstone-sweep accounting; the backend
+/// only stores entries and surfaces them in `(time, seq)` order.
+enum Imp<E> {
+    Heap {
+        heap: BinaryHeap<Reverse<Entry<E>>>,
+        /// Reusable staging buffer for `schedule_batch`, so a burst
+        /// costs one heapify-and-merge and no allocation at steady
+        /// state.
+        staged: Vec<Reverse<Entry<E>>>,
+    },
+    Calendar(calendar::Calendar<E>),
+}
+
+impl<E> Imp<E> {
+    /// Stored entries, tombstones included.
+    fn stored_len(&self) -> usize {
+        match self {
+            Imp::Heap { heap, .. } => heap.len(),
+            Imp::Calendar(c) => c.len(),
+        }
+    }
+}
+
 /// A deterministic time-ordered event queue.
 ///
 /// # Examples
@@ -69,17 +147,30 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), Some((SimTime::from_millis(1), "io")));
 /// assert_eq!(q.pop(), None);
 /// ```
+///
+/// The calendar backend delivers the identical sequence:
+///
+/// ```
+/// use afraid_sim::queue::{EventQueue, SchedulerKind};
+/// use afraid_sim::time::SimTime;
+///
+/// let mut q = EventQueue::with_scheduler(SchedulerKind::Calendar);
+/// q.schedule(SimTime::from_millis(2), "second");
+/// q.schedule(SimTime::from_millis(1), "first");
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(1), "first")));
+/// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    imp: Imp<E>,
     /// Ids that are scheduled and neither delivered nor cancelled.
-    /// Invariant: `pending` is a subset of the ids present in `heap`,
-    /// so `heap.len() - pending.len()` is the live tombstone count.
+    /// Invariant: `pending` is a subset of the ids stored in the
+    /// backend, so `stored_len() - pending.len()` is the live tombstone
+    /// count.
     pending: U64Set,
     next_seq: u64,
-    /// Tombstoned heap entries swept so far. Every cancelled event is
-    /// counted exactly once, when its entry is discarded from the heap
-    /// top — there is no per-`cancel` linear scan. Exposed so tests can
-    /// assert the cost model rather than wall-clock time.
+    /// Tombstoned entries swept so far. Every cancelled event is
+    /// counted exactly once, when its entry is discarded from the
+    /// front — there is no per-`cancel` linear scan. Exposed so tests
+    /// can assert the cost model rather than wall-clock time.
     scan_ops: u64,
 }
 
@@ -90,26 +181,47 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the default heap backend.
     pub fn new() -> Self {
+        Self::with_scheduler(SchedulerKind::Heap)
+    }
+
+    /// Creates an empty queue on the chosen scheduler backend.
+    pub fn with_scheduler(kind: SchedulerKind) -> Self {
+        let imp = match kind {
+            SchedulerKind::Heap => Imp::Heap {
+                heap: BinaryHeap::new(),
+                staged: Vec::new(),
+            },
+            SchedulerKind::Calendar => Imp::Calendar(calendar::Calendar::new()),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            imp,
             pending: U64Set::default(),
             next_seq: 0,
             scan_ops: 0,
         }
     }
 
-    /// Asserts the pending-set/heap consistency invariant (debug builds
-    /// only): every pending id has a heap entry, so the tombstone count
-    /// `heap.len() - pending.len()` is never negative. Checked at every
-    /// mutation; a violation would mean a live event can never fire.
+    /// Which backend this queue runs on.
+    pub fn scheduler(&self) -> SchedulerKind {
+        match self.imp {
+            Imp::Heap { .. } => SchedulerKind::Heap,
+            Imp::Calendar(_) => SchedulerKind::Calendar,
+        }
+    }
+
+    /// Asserts the pending-set/backend consistency invariant (debug
+    /// builds only): every pending id has a stored entry, so the
+    /// tombstone count `stored_len() - pending.len()` is never
+    /// negative. Checked at every mutation; a violation would mean a
+    /// live event can never fire.
     fn check_invariant(&self) {
         debug_assert!(
-            self.pending.len() <= self.heap.len(),
-            "event queue invariant broken: {} pending ids but only {} heap entries",
+            self.pending.len() <= self.imp.stored_len(),
+            "event queue invariant broken: {} pending ids but only {} stored entries",
             self.pending.len(),
-            self.heap.len()
+            self.imp.stored_len()
         );
     }
 
@@ -118,18 +230,64 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, time: SimTime, event: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { time, seq, event }));
         self.pending.insert(seq);
+        match &mut self.imp {
+            Imp::Heap { heap, .. } => heap.push(Reverse(Entry { time, seq, event })),
+            Imp::Calendar(c) => {
+                c.insert(Entry { time, seq, event });
+                c.maybe_resize();
+            }
+        }
         self.check_invariant();
         EventId(seq)
+    }
+
+    /// Schedules a burst of events in one maintenance pass.
+    ///
+    /// Sequence numbers are assigned in iteration order, so the
+    /// delivered order is exactly what a loop of [`EventQueue::schedule`]
+    /// calls would produce — batching is a cost optimisation, never a
+    /// semantic change. The heap pays one heapify-and-merge for the
+    /// whole burst instead of a per-event sift; the calendar pays one
+    /// resize check.
+    pub fn schedule_batch<I>(&mut self, items: I)
+    where
+        I: IntoIterator<Item = (SimTime, E)>,
+    {
+        match &mut self.imp {
+            Imp::Heap { heap, staged } => {
+                for (time, event) in items {
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.pending.insert(seq);
+                    staged.push(Reverse(Entry { time, seq, event }));
+                }
+                // One maintenance pass: heapify the staged run in place
+                // and merge (std's `append` sifts or rebuilds, whichever
+                // is cheaper). The buffer is recycled afterwards.
+                let mut batch = BinaryHeap::from(std::mem::take(staged));
+                heap.append(&mut batch);
+                *staged = batch.into_vec();
+            }
+            Imp::Calendar(c) => {
+                for (time, event) in items {
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.pending.insert(seq);
+                    c.insert(Entry { time, seq, event });
+                }
+                c.maybe_resize();
+            }
+        }
+        self.check_invariant();
     }
 
     /// Cancels a previously scheduled event in `O(1)`.
     ///
     /// Returns `true` if the event had not yet fired or been cancelled.
     /// Cancelling an already-delivered, already-cancelled, or unknown id
-    /// is a no-op returning `false`. The heap entry stays behind as a
-    /// tombstone and is discarded when it reaches the top.
+    /// is a no-op returning `false`. The stored entry stays behind as a
+    /// tombstone and is discarded when it reaches the front.
     pub fn cancel(&mut self, id: EventId) -> bool {
         // Only issued-and-undelivered ids are in `pending`, so a single
         // set removal gives exact semantics for every case.
@@ -138,7 +296,15 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest live event, skipping tombstones.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
+        loop {
+            let popped = match &mut self.imp {
+                Imp::Heap { heap, .. } => heap.pop().map(|Reverse(e)| e),
+                Imp::Calendar(c) => c.pop_min(),
+            };
+            let Some(entry) = popped else {
+                self.check_invariant();
+                return None;
+            };
             if self.pending.remove(&entry.seq) {
                 self.check_invariant();
                 return Some((entry.time, entry.event));
@@ -146,19 +312,20 @@ impl<E> EventQueue<E> {
             // Tombstone: cancelled earlier, swept now, exactly once.
             self.scan_ops += 1;
         }
-        self.check_invariant();
-        None
     }
 
     /// The time of the earliest live event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Fast path: no tombstones anywhere in the heap, nothing to
+        // Fast path: no tombstones anywhere in the backend, nothing to
         // drain. This is the common case — cancels are rare relative to
         // schedules in every workload we model.
-        if self.heap.len() != self.pending.len() {
+        if self.imp.stored_len() != self.pending.len() {
             self.drain_tombstones();
         }
-        self.heap.peek().map(|Reverse(e)| e.time)
+        match &mut self.imp {
+            Imp::Heap { heap, .. } => heap.peek().map(|Reverse(e)| e.time),
+            Imp::Calendar(c) => c.peek_min().map(|(t, _)| t),
+        }
     }
 
     /// Number of live (not cancelled) events.
@@ -178,15 +345,28 @@ impl<E> EventQueue<E> {
         self.scan_ops
     }
 
-    /// Pops tombstoned entries off the top of the heap so `peek` sees a
-    /// live entry.
+    /// Discards tombstoned entries off the front so `peek` sees a live
+    /// entry.
     fn drain_tombstones(&mut self) {
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.pending.contains(&entry.seq) {
-                break;
+        match &mut self.imp {
+            Imp::Heap { heap, .. } => {
+                while let Some(Reverse(entry)) = heap.peek() {
+                    if self.pending.contains(&entry.seq) {
+                        break;
+                    }
+                    heap.pop();
+                    self.scan_ops += 1;
+                }
             }
-            self.heap.pop();
-            self.scan_ops += 1;
+            Imp::Calendar(c) => {
+                while let Some((_, seq)) = c.peek_min() {
+                    if self.pending.contains(&seq) {
+                        break;
+                    }
+                    c.pop_min();
+                    self.scan_ops += 1;
+                }
+            }
         }
         self.check_invariant();
     }
@@ -197,153 +377,253 @@ mod tests {
     use super::*;
     use crate::time::SimDuration;
 
+    /// Runs a test body against both scheduler backends.
+    fn on_both<F: Fn(EventQueue<i64>, SchedulerKind)>(f: F) {
+        for kind in SchedulerKind::all() {
+            f(EventQueue::with_scheduler(kind), kind);
+        }
+    }
+
     #[test]
     fn orders_by_time() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_millis(3), 3);
-        q.schedule(SimTime::from_millis(1), 1);
-        q.schedule(SimTime::from_millis(2), 2);
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        on_both(|mut q, kind| {
+            q.schedule(SimTime::from_millis(3), 3);
+            q.schedule(SimTime::from_millis(1), 1);
+            q.schedule(SimTime::from_millis(2), 2);
+            let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![1, 2, 3], "{kind:?}");
+        });
     }
 
     #[test]
     fn same_time_fifo() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_millis(1);
-        for i in 0..100 {
-            q.schedule(t, i);
-        }
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
+        on_both(|mut q, kind| {
+            let t = SimTime::from_millis(1);
+            for i in 0..100 {
+                q.schedule(t, i);
+            }
+            let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>(), "{kind:?}");
+        });
+    }
+
+    #[test]
+    fn batch_matches_loop_order() {
+        on_both(|mut q, kind| {
+            q.schedule(SimTime::from_millis(5), -1);
+            q.schedule_batch([
+                (SimTime::from_millis(2), 2),
+                (SimTime::from_millis(1), 1),
+                (SimTime::from_millis(2), 3),
+                (SimTime::from_millis(9), 4),
+            ]);
+            q.schedule(SimTime::from_millis(2), 5);
+            let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            // Same-instant ties resolve in submission order across the
+            // batch boundary: 2 and 3 (batched) before 5 (scheduled).
+            assert_eq!(order, vec![1, 2, 3, 5, -1, 4], "{kind:?}");
+        });
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        on_both(|mut q, kind| {
+            q.schedule_batch(std::iter::empty());
+            assert!(q.is_empty(), "{kind:?}");
+            assert_eq!(q.pop(), None, "{kind:?}");
+        });
     }
 
     #[test]
     fn cancel_removes_event() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(SimTime::from_millis(1), "a");
-        q.schedule(SimTime::from_millis(2), "b");
-        assert!(q.cancel(a));
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.pop(), Some((SimTime::from_millis(2), "b")));
-        assert!(q.is_empty());
+        on_both(|mut q, kind| {
+            let a = q.schedule(SimTime::from_millis(1), 1);
+            q.schedule(SimTime::from_millis(2), 2);
+            assert!(q.cancel(a));
+            assert_eq!(q.len(), 1, "{kind:?}");
+            assert_eq!(q.pop(), Some((SimTime::from_millis(2), 2)), "{kind:?}");
+            assert!(q.is_empty(), "{kind:?}");
+        });
     }
 
     #[test]
     fn cancel_after_pop_is_noop() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(SimTime::from_millis(1), "a");
-        assert!(q.pop().is_some());
-        assert!(!q.cancel(a));
-        assert!(q.is_empty());
+        on_both(|mut q, _| {
+            let a = q.schedule(SimTime::from_millis(1), 1);
+            assert!(q.pop().is_some());
+            assert!(!q.cancel(a));
+            assert!(q.is_empty());
+        });
     }
 
     #[test]
     fn double_cancel_is_noop() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(SimTime::from_millis(1), "a");
-        assert!(q.cancel(a));
-        assert!(!q.cancel(a));
-        assert_eq!(q.pop(), None);
+        on_both(|mut q, _| {
+            let a = q.schedule(SimTime::from_millis(1), 1);
+            assert!(q.cancel(a));
+            assert!(!q.cancel(a));
+            assert_eq!(q.pop(), None);
+        });
     }
 
     #[test]
     fn cancel_unknown_id_is_noop() {
-        let mut q: EventQueue<&str> = EventQueue::new();
-        assert!(!q.cancel(EventId(42)));
+        on_both(|mut q, _| {
+            assert!(!q.cancel(EventId(42)));
+        });
     }
 
     #[test]
     fn peek_skips_tombstones() {
-        let mut q = EventQueue::new();
-        let a = q.schedule(SimTime::from_millis(1), "a");
-        q.schedule(SimTime::from_millis(2), "b");
-        q.cancel(a);
-        assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
+        on_both(|mut q, kind| {
+            let a = q.schedule(SimTime::from_millis(1), 1);
+            q.schedule(SimTime::from_millis(2), 2);
+            q.cancel(a);
+            assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)), "{kind:?}");
+        });
     }
 
     #[test]
     fn peek_empty() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
+        on_both(|mut q, _| {
+            assert_eq!(q.peek_time(), None);
+        });
     }
 
     #[test]
     fn len_tracks_live_entries() {
-        let mut q = EventQueue::new();
-        let ids: Vec<_> = (0..10)
-            .map(|i| q.schedule(SimTime::from_millis(i), i))
-            .collect();
-        assert_eq!(q.len(), 10);
-        q.cancel(ids[4]);
-        q.cancel(ids[7]);
-        assert_eq!(q.len(), 8);
-        let mut popped = 0;
-        while q.pop().is_some() {
-            popped += 1;
-        }
-        assert_eq!(popped, 8);
+        on_both(|mut q, kind| {
+            let ids: Vec<_> = (0..10)
+                .map(|i| q.schedule(SimTime::from_millis(i as u64), i))
+                .collect();
+            assert_eq!(q.len(), 10, "{kind:?}");
+            q.cancel(ids[4]);
+            q.cancel(ids[7]);
+            assert_eq!(q.len(), 8, "{kind:?}");
+            let mut popped = 0;
+            while q.pop().is_some() {
+                popped += 1;
+            }
+            assert_eq!(popped, 8, "{kind:?}");
+        });
     }
 
     #[test]
     fn interleaved_schedule_pop() {
-        let mut q = EventQueue::new();
-        let mut now = SimTime::ZERO;
-        let step = SimDuration::from_millis(1);
-        q.schedule(now + step, 0u32);
-        let mut delivered = Vec::new();
-        while let Some((t, e)) = q.pop() {
-            now = t;
-            delivered.push(e);
-            if e < 5 {
-                // Each event schedules its successor, like a timer chain.
-                q.schedule(now + step, e + 1);
+        on_both(|mut q, kind| {
+            let mut now = SimTime::ZERO;
+            let step = SimDuration::from_millis(1);
+            q.schedule(now + step, 0);
+            let mut delivered = Vec::new();
+            while let Some((t, e)) = q.pop() {
+                now = t;
+                delivered.push(e);
+                if e < 5 {
+                    // Each event schedules its successor, like a timer
+                    // chain.
+                    q.schedule(now + step, e + 1);
+                }
             }
-        }
-        assert_eq!(delivered, vec![0, 1, 2, 3, 4, 5]);
-        assert_eq!(now, SimTime::from_millis(6));
+            assert_eq!(delivered, vec![0, 1, 2, 3, 4, 5], "{kind:?}");
+            assert_eq!(now, SimTime::from_millis(6), "{kind:?}");
+        });
     }
 
-    /// The satellite regression test: 100k schedule/cancel pairs against
-    /// a deep heap must not trigger any linear scanning. With the old
-    /// `pending_contains` design each cancel walked the whole heap
-    /// (~10^8 entry visits here); with the pending-id set, the only work
-    /// is sweeping each tombstone once, so the operation counter is
-    /// bounded by the number of cancels. Asserted via the counter, not
-    /// wall clock, so the test is robust on slow CI machines.
+    /// The cost-model regression test: 100k schedule/cancel pairs
+    /// against a deep queue must not trigger any linear scanning. The
+    /// only work is sweeping each tombstone once, so the operation
+    /// counter is bounded by the number of cancels. Asserted via the
+    /// counter, not wall clock, so the test is robust on slow CI
+    /// machines.
     #[test]
     fn cancel_heavy_workload_stays_cheap() {
         const PAIRS: u64 = 100_000;
-        let mut q = EventQueue::new();
-        // A deep base of long-lived events the old implementation would
-        // have re-scanned on every cancel.
-        for i in 0..1_000u64 {
-            q.schedule(SimTime::from_millis(10_000_000 + i), -1i64);
+        on_both(|mut q, kind| {
+            // A deep base of long-lived events.
+            for i in 0..1_000u64 {
+                q.schedule(SimTime::from_millis(10_000_000 + i), -1);
+            }
+            for i in 0..PAIRS {
+                // Re-armed timer pattern: schedule near the front, then
+                // cancel before it fires.
+                let id = q.schedule(SimTime::from_millis(i), i as i64);
+                assert!(q.cancel(id));
+                if i % 16 == 0 {
+                    // Interleave peeks so tombstone draining participates.
+                    assert_eq!(
+                        q.peek_time(),
+                        Some(SimTime::from_millis(10_000_000)),
+                        "{kind:?}"
+                    );
+                }
+            }
+            assert_eq!(q.len(), 1_000, "{kind:?}");
+            // Each cancelled entry is swept at most once, ever.
+            assert!(
+                q.scan_ops() <= PAIRS,
+                "{kind:?}: cancel-heavy workload did linear work: {} scan ops for {} cancels",
+                q.scan_ops(),
+                PAIRS
+            );
+            // Delivery is unaffected: all base events still pop, in order.
+            let mut popped = 0;
+            while q.pop().is_some() {
+                popped += 1;
+            }
+            assert_eq!(popped, 1_000, "{kind:?}");
+            assert_eq!(q.scan_ops(), PAIRS, "{kind:?}");
+        });
+    }
+
+    /// Deterministic churn: both backends deliver the identical event
+    /// sequence on a 100k-op interleaved schedule/cancel/pop program
+    /// with clustered (same-instant) times.
+    #[test]
+    fn backends_agree_on_churn_program() {
+        use crate::rng::SplitMix64;
+
+        let mut heap = EventQueue::with_scheduler(SchedulerKind::Heap);
+        let mut cal = EventQueue::with_scheduler(SchedulerKind::Calendar);
+        let mut rng = SplitMix64::new(0xAF1D_0009);
+        let mut now = 0u64;
+        let mut live_ids: Vec<(EventId, EventId)> = Vec::new();
+        for i in 0..100_000u64 {
+            match rng.next_u64() % 10 {
+                // Schedule (60%): clustered times so ties are common.
+                0..=5 => {
+                    let dt = (rng.next_u64() % 8) * 250;
+                    let t = SimTime::from_nanos(now + dt);
+                    let ih = heap.schedule(t, i as i64);
+                    let ic = cal.schedule(t, i as i64);
+                    live_ids.push((ih, ic));
+                }
+                // Cancel (20%).
+                6 | 7 => {
+                    if !live_ids.is_empty() {
+                        let k = (rng.next_u64() as usize) % live_ids.len();
+                        let (ih, ic) = live_ids.swap_remove(k);
+                        assert_eq!(heap.cancel(ih), cal.cancel(ic));
+                    }
+                }
+                // Pop (20%).
+                _ => {
+                    let h = heap.pop();
+                    let c = cal.pop();
+                    assert_eq!(h, c, "divergence at op {i}");
+                    if let Some((t, _)) = h {
+                        now = t.as_nanos();
+                    }
+                }
+            }
+            assert_eq!(heap.len(), cal.len());
         }
-        for i in 0..PAIRS {
-            // Re-armed timer pattern: schedule near the heap top, then
-            // cancel before it fires.
-            let id = q.schedule(SimTime::from_millis(i), i as i64);
-            assert!(q.cancel(id));
-            if i % 16 == 0 {
-                // Interleave peeks so tombstone draining participates.
-                assert_eq!(q.peek_time(), Some(SimTime::from_millis(10_000_000)));
+        loop {
+            let h = heap.pop();
+            let c = cal.pop();
+            assert_eq!(h, c, "divergence in final drain");
+            if h.is_none() {
+                break;
             }
         }
-        assert_eq!(q.len(), 1_000);
-        // Each cancelled entry is swept at most once, ever.
-        assert!(
-            q.scan_ops() <= PAIRS,
-            "cancel-heavy workload did linear work: {} scan ops for {} cancels",
-            q.scan_ops(),
-            PAIRS
-        );
-        // Delivery is unaffected: all base events still pop, in order.
-        let mut popped = 0;
-        while q.pop().is_some() {
-            popped += 1;
-        }
-        assert_eq!(popped, 1_000);
-        assert_eq!(q.scan_ops(), PAIRS);
     }
 }

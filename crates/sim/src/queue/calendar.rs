@@ -1,0 +1,546 @@
+//! Brown-style calendar queue: an O(1)-amortised bucketed time wheel.
+//!
+//! The scheduler divides simulated time into fixed-width slices and
+//! hashes each slice onto a power-of-two bucket array ("days" of a
+//! "year", in the calendar metaphor — the year is `nbuckets × width`
+//! nanoseconds long and wraps around the array). Pop-min scans forward
+//! from a cursor one day at a time, only accepting an entry whose time
+//! falls inside the cursor's current-year window; insert drops an entry
+//! into its slice's bucket directly. For the near-uniform event spacing
+//! the disk traces produce, both operations are amortised O(1), versus
+//! the binary heap's O(log n).
+//!
+//! Determinism contract: pop-min returns entries in exactly the total
+//! `(time, seq)` order the heap uses. Buckets are kept sorted in
+//! *descending* `(time, seq)` order so the per-bucket minimum is
+//! `last()` and removing it is an O(1) `Vec::pop`; the windowed scan
+//! only ever accepts the globally minimal entry because the cursor
+//! window floor is maintained `≤` every stored entry time (inserts
+//! behind the cursor drag it back, see [`Calendar::insert`]).
+//!
+//! The structure is a hybrid: the wheel serves the dense near-term
+//! cluster (arrival chains, disk completions), while events beyond a
+//! routing horizon — idle ticks, tour periods, pre-scheduled barrier
+//! timelines — live in an overflow min-heap until their year
+//! approaches ([`Calendar::refill`]). Far-future timers would
+//! otherwise force an impossible width choice: span-scaled widths
+//! funnel the cluster into one bucket, cluster-scaled widths leave
+//! the scan crawling across a mostly-empty year. In the heap backend
+//! they cost O(log n); here they cost the same and the cluster keeps
+//! its O(1) wheel.
+//!
+//! Four maintenance mechanisms keep the wheel matched to the workload:
+//!
+//! * **Gap estimator** — an integer EWMA of the inter-pop time gap is
+//!   the live estimate of event spacing. It sets the routing horizon
+//!   (a few thousand gaps ahead of the cursor) and re-derives the
+//!   bucket width whenever the wheel goes empty — the one state the
+//!   rebuild path can never learn a width in, and without which a
+//!   stale width routes all traffic to overflow permanently.
+//! * **Resize** — when the *wheel* occupancy (overflow events don't
+//!   vote) drifts past 2× the bucket count or below ⅛ of it, every
+//!   entry is redistributed across `next_power_of_two(occupancy)`
+//!   buckets and the width is recomputed from the head-local event
+//!   spacing ([`Calendar::rebuild`]). A rebuild touches each entry
+//!   once and is gated on proportionally many wheel ops since the
+//!   last one, so bursty occupancy swings cannot thrash it and the
+//!   cost is amortised O(1).
+//! * **Re-width** — a pop that scans an entire year without a hit falls
+//!   back to a direct O(nbuckets) min search; a run of consecutive
+//!   fallbacks means the width is stale (event spacing changed without
+//!   the count changing) and triggers a same-size rebuild.
+//! * **Bounded refill drain** — consuming an overflow event drags a
+//!   small bounded chunk of its successors into the wheel with it,
+//!   amortising the anchor work without handing a standing far-future
+//!   population to the next rebuild to push back out.
+//!
+//! Cancellation is handled above this module: the wrapper's `U64Set`
+//! pending-id set marks tombstones, and [`Calendar::pop_min`] simply
+//! surfaces them to be discarded by the caller, exactly as with the
+//! heap.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use super::Entry;
+use crate::time::SimTime;
+
+/// Smallest bucket array; also the size a fresh calendar starts at.
+/// Deliberately generous (3 KiB of `Vec` headers): the floor must
+/// absorb a refill drain's worth of entries ([`Calendar::refill`],
+/// `DRAIN_MAX` = 64) plus a disk array's in-flight completions without
+/// crossing the 2× grow threshold, or every overflow consumption
+/// triggers a grow rebuild that the following pops immediately shrink
+/// away — the simulator's steady-state wheel should not resize at all.
+const MIN_BUCKETS: usize = 128;
+
+/// Consecutive direct-search pops tolerated before a re-width rebuild.
+const DIRECT_POP_REBUILD: u32 = 4;
+
+/// Bucket width as a multiple of the estimated event gap: a few events
+/// per bucket keeps empty-window scan steps rare while the per-bucket
+/// sorted insert stays a short memmove.
+const GAP_FACTOR: u64 = 3;
+
+pub(super) struct Calendar<E> {
+    /// Power-of-two bucket array; each bucket is sorted in descending
+    /// `(time, seq)` order so the bucket minimum is `last()`.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// `buckets.len() - 1`; bucket index is `(time >> shift) & mask`.
+    mask: usize,
+    /// Bucket width in simulated nanoseconds; always a power of two
+    /// (`1 << shift`) so the per-insert slice computation is a shift
+    /// rather than a 64-bit division.
+    width: u64,
+    /// `width.trailing_zeros()`.
+    shift: u32,
+    /// Bucket the scan cursor is parked on.
+    cur: usize,
+    /// Exclusive upper bound of `cur`'s current-year window, in ns.
+    /// `u128` because `(slice + 1) × width` can exceed `u64` for
+    /// far-future times.
+    bucket_top: u128,
+    /// Wheel entries (bucketed), tombstones included.
+    entries: usize,
+    /// Events beyond the wheel's horizon (more than a year out), kept
+    /// in a plain min-heap until the cursor approaches their year.
+    /// Timers far from the dense completion cluster — idle ticks, tour
+    /// periods — would otherwise force an impossible width choice:
+    /// span-scaled widths funnel the cluster into one bucket (O(n)
+    /// sorted inserts), cluster-scaled widths leave the scan crawling
+    /// across a mostly-empty year. In the heap they cost O(log n);
+    /// here they cost the same and the cluster keeps its O(1) wheel.
+    overflow: BinaryHeap<Reverse<Entry<E>>>,
+    /// Consecutive pops that needed the direct-search fallback.
+    direct_pops: u32,
+    /// Wheel inserts + wheel pops since the last rebuild. A rebuild
+    /// touches every stored entry, so resizing is only allowed after
+    /// proportionally many mutations — otherwise a bursty workload
+    /// whose pending count repeatedly sweeps across the grow/shrink
+    /// thresholds (idle floor → burst peak → idle floor) pays a full
+    /// redistribution several times per burst.
+    ops_since_rebuild: usize,
+    /// Time of the last popped entry, in ns.
+    last_pop: u64,
+    /// Integer EWMA (1/8 weight) of the gap between consecutive popped
+    /// times: the live estimate of the workload's event spacing. The
+    /// rebuild path can only learn a width from entries already *in*
+    /// the wheel; this estimator learns from delivered traffic, so an
+    /// empty wheel whose stale width routes everything to overflow
+    /// still converges back to a bucketed regime.
+    avg_gap: u64,
+}
+
+impl<E> Calendar<E> {
+    pub(super) fn new() -> Self {
+        Calendar {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            mask: MIN_BUCKETS - 1,
+            width: 1,
+            shift: 0,
+            cur: 0,
+            bucket_top: 1,
+            entries: 0,
+            overflow: BinaryHeap::new(),
+            direct_pops: 0,
+            ops_since_rebuild: 0,
+            last_pop: 0,
+            avg_gap: 1,
+        }
+    }
+
+    /// Feeds the inter-pop gap estimator.
+    fn note_pop(&mut self, time: SimTime) {
+        let ns = time.as_nanos();
+        let gap = ns.saturating_sub(self.last_pop);
+        self.last_pop = ns;
+        self.avg_gap = self.avg_gap - self.avg_gap / 8 + gap / 8;
+    }
+
+    /// Stored entries (wheel + overflow), tombstones included.
+    pub(super) fn len(&self) -> usize {
+        self.entries + self.overflow.len()
+    }
+
+    fn bucket_of(&self, time: SimTime) -> usize {
+        ((time.as_nanos() >> self.shift) as usize) & self.mask
+    }
+
+    /// Sets the bucket width, rounded up to a power of two.
+    fn set_width(&mut self, w: u64) {
+        self.width = w.max(1).checked_next_power_of_two().unwrap_or(1 << 63);
+        self.shift = self.width.trailing_zeros();
+    }
+
+    /// Exclusive end of the wheel's responsibility: entries past this
+    /// go to the overflow heap instead of a bucket. The window scan is
+    /// already correct for entries that wrap the year many times (the
+    /// `time < bucket_top` check skips them until their year comes up),
+    /// so the cutoff is a cost knob, not a correctness bound. It is
+    /// measured in *pop gaps*, not wheel revolutions: near-term
+    /// traffic — arrival chains, disk completions, retry timers — is
+    /// within a few gaps of the cursor and must stay bucketed even
+    /// when the width is momentarily stale, while standing far-future
+    /// populations (periodic tours, pre-scheduled barrier timelines,
+    /// the micro's second-out timers) are thousands of gaps away and
+    /// belong in the heap, where they cost O(log n) exactly twice.
+    fn horizon(&self) -> u128 {
+        /// Estimated event gaps ahead an entry may be bucketed.
+        const HORIZON_GAPS: u128 = 4096;
+        self.bucket_top + HORIZON_GAPS * u128::from(self.avg_gap.max(self.width))
+    }
+
+    /// Re-parks the scan cursor on `time`'s bucket and window.
+    fn anchor(&mut self, time: SimTime) {
+        let slice = time.as_nanos() >> self.shift;
+        self.cur = (slice as usize) & self.mask;
+        self.bucket_top = (u128::from(slice) + 1) * u128::from(self.width);
+    }
+
+    pub(super) fn insert(&mut self, entry: Entry<E>) {
+        if u128::from(entry.time.as_nanos()) >= self.horizon() {
+            self.overflow.push(Reverse(entry));
+        } else {
+            self.insert_wheel(entry);
+        }
+    }
+
+    fn insert_wheel(&mut self, entry: Entry<E>) {
+        // An insert earlier than the cursor's window floor must drag the
+        // cursor back, or the windowed scan could deliver a later event
+        // first and break the total (time, seq) order.
+        let t = u128::from(entry.time.as_nanos());
+        if t < self.bucket_top.saturating_sub(u128::from(self.width)) {
+            self.anchor(entry.time);
+        }
+        let idx = self.bucket_of(entry.time);
+        let Some(bucket) = self.buckets.get_mut(idx) else {
+            unreachable!("bucket index is masked to the array length");
+        };
+        // Keep descending (time, seq) order: everything before the
+        // insertion point is strictly greater (seqs are unique).
+        let at = bucket.partition_point(|e| (e.time, e.seq) > (entry.time, entry.seq));
+        bucket.insert(at, entry);
+        self.entries += 1;
+        self.ops_since_rebuild += 1;
+    }
+
+    /// The overflow minimum's `(time, seq)`, if any.
+    fn overflow_min(&self) -> Option<(SimTime, u64)> {
+        self.overflow.peek().map(|Reverse(e)| (e.time, e.seq))
+    }
+
+    /// Moves the overflow minimum — which the caller has established
+    /// is the global minimum — into the wheel, dragging the cursor to
+    /// its year, and drains a bounded chunk of what follows it along.
+    fn refill(&mut self) {
+        let Some(Reverse(first)) = self.overflow.pop() else {
+            return;
+        };
+        self.anchor(first.time);
+        self.insert_wheel(first);
+        // Drain a bounded chunk past the anchor — at most one wheel
+        // revolution AND at most `DRAIN_MAX` entries. NOT the
+        // insert-routing horizon, and never unboundedly many: a
+        // momentarily far-derived width can make one revolution span
+        // seconds, and draining a standing far-future population into
+        // the wheel wholesale just hands it to the next rebuild to
+        // push back to the heap, cycling entries indefinitely. A small
+        // chunk is all the amortisation consecutive overflow pops need
+        // (one anchor + one cursor ride instead of `DRAIN_MAX`), and
+        // it is deliberately NOT followed by a resize: overfilling a
+        // minimum-size wheel by 64 entries is ~4 extras per bucket,
+        // far cheaper than the rebuild churn resizing here causes.
+        const DRAIN_MAX: usize = 64;
+        let drain_top = self.bucket_top + (self.mask as u128 + 1) * u128::from(self.width);
+        let mut drained = 0usize;
+        while let Some(Reverse(e)) = self.overflow.peek() {
+            if drained >= DRAIN_MAX || u128::from(e.time.as_nanos()) >= drain_top {
+                break;
+            }
+            let Some(Reverse(e)) = self.overflow.pop() else {
+                unreachable!("peek just succeeded");
+            };
+            self.insert_wheel(e);
+            drained += 1;
+        }
+    }
+
+    /// Removes and returns the globally minimal entry (tombstones
+    /// included — the caller discards those).
+    pub(super) fn pop_min(&mut self) -> Option<Entry<E>> {
+        if self.entries == 0 {
+            // Empty wheel: serve the overflow heap directly — no wheel
+            // round-trip, no resize churn. Re-park the cursor so the
+            // next dense insert lands just ahead of the window floor.
+            // An empty wheel is also the one state the rebuild path
+            // can never learn a width in (nothing to sample), so a
+            // width refresh from the pop-gap estimator is both free
+            // and necessary here: without it a stale narrow width
+            // routes all future traffic to overflow and the wheel
+            // locks into a degenerate everything-through-the-heap
+            // regime.
+            let Reverse(entry) = self.overflow.pop()?;
+            self.note_pop(entry.time);
+            let target = self.avg_gap.saturating_mul(GAP_FACTOR).max(1);
+            if self.width < target / 4 || self.width > target.saturating_mul(4) {
+                self.set_width(target);
+            }
+            self.anchor(entry.time);
+            return Some(entry);
+        }
+        let idx = self.find_min_bucket()?;
+        let Some(bucket) = self.buckets.get_mut(idx) else {
+            unreachable!("find_min_bucket returns a masked index");
+        };
+        let entry = bucket.pop()?;
+        self.entries -= 1;
+        self.ops_since_rebuild += 1;
+        self.note_pop(entry.time);
+        Some(entry)
+    }
+
+    /// The `(time, seq)` of the globally minimal entry, if any.
+    pub(super) fn peek_min(&mut self) -> Option<(SimTime, u64)> {
+        if self.entries == 0 {
+            return self.overflow_min();
+        }
+        let idx = self.find_min_bucket()?;
+        self.buckets
+            .get(idx)
+            .and_then(|b| b.last())
+            .map(|e| (e.time, e.seq))
+    }
+
+    /// Advances the cursor to the bucket whose `last()` is the global
+    /// minimum and returns its index, or `None` when empty.
+    fn find_min_bucket(&mut self) -> Option<usize> {
+        if self.entries == 0 {
+            if self.overflow.is_empty() {
+                return None;
+            }
+            self.refill();
+        }
+        let mut scanned = 0usize;
+        loop {
+            if let Some(e) = self.buckets.get(self.cur).and_then(|b| b.last()) {
+                if u128::from(e.time.as_nanos()) < self.bucket_top {
+                    // The wheel minimum — but the cursor may have
+                    // advanced into (or past) the year of an overflow
+                    // event since it was parked, so the overflow can
+                    // hold something smaller. Seqs are unique, so the
+                    // keys are never equal.
+                    if self.overflow_min().is_some_and(|om| om < (e.time, e.seq)) {
+                        self.refill();
+                        scanned = 0;
+                        continue;
+                    }
+                    self.direct_pops = 0;
+                    return Some(self.cur);
+                }
+            }
+            if scanned >= self.mask {
+                // A whole year of empty windows: every remaining event
+                // is far away. Jump straight to the true minimum.
+                return self.direct_search();
+            }
+            self.cur = (self.cur + 1) & self.mask;
+            self.bucket_top += u128::from(self.width);
+            scanned += 1;
+        }
+    }
+
+    /// O(nbuckets) fallback: compare every bucket's minimum against
+    /// the overflow minimum, re-anchor the window on the winner. Only
+    /// runs after a windowed scan found an entire year empty.
+    fn direct_search(&mut self) -> Option<usize> {
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for (i, b) in self.buckets.iter().enumerate() {
+            if let Some(e) = b.last() {
+                let better = match best {
+                    None => true,
+                    Some((bt, bs, _)) => (e.time, e.seq) < (bt, bs),
+                };
+                if better {
+                    best = Some((e.time, e.seq, i));
+                }
+            }
+        }
+        let overflow_beats = match (best, self.overflow_min()) {
+            (Some((bt, bs, _)), Some(om)) => om < (bt, bs),
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        if overflow_beats {
+            self.refill();
+            return self.find_min_bucket();
+        }
+        let (time, _, idx) = best?;
+        self.direct_pops = self.direct_pops.saturating_add(1);
+        if self.direct_pops >= DIRECT_POP_REBUILD {
+            // Event spacing changed without the count changing; the
+            // width is stale. Recompute it and rescan (the rebuild
+            // anchors on the minimum, so the rescan hits immediately).
+            self.rebuild(self.buckets.len());
+            self.direct_pops = 0;
+            return self.find_min_bucket();
+        }
+        self.anchor(time);
+        Some(idx)
+    }
+
+    /// Grows or shrinks the bucket array when the wheel's stored-entry
+    /// count drifts past the thresholds. Sized on wheel occupancy, not
+    /// total pending: overflow events don't live in buckets, so they
+    /// don't vote on capacity.
+    pub(super) fn maybe_resize(&mut self) {
+        let n = self.buckets.len();
+        if self.ops_since_rebuild < self.entries.max(n) {
+            return;
+        }
+        if self.entries > n * 2 || (n > MIN_BUCKETS && self.entries * 8 < n) {
+            self.rebuild(self.entries);
+        }
+    }
+
+    /// Redistributes every entry across `target.next_power_of_two()`
+    /// buckets, recomputing the width from the *head-local* event
+    /// spacing, and re-anchors the cursor on the minimum.
+    ///
+    /// Width comes from the gap across the `WIDTH_SAMPLE` nearest
+    /// events rather than the full span: a handful of far-future
+    /// timers (idle ticks, tour periods) would otherwise inflate a
+    /// span-based width by orders of magnitude and funnel the dense
+    /// completion cluster into a single bucket, degrading insert to
+    /// O(bucket) memmoves. Far events simply wrap around the year and
+    /// are skipped by the window check until their year comes up.
+    fn rebuild(&mut self, target: usize) {
+        self.ops_since_rebuild = 0;
+        /// Nearest events sampled for the width estimate.
+        const WIDTH_SAMPLE: usize = 64;
+
+        let nbuckets = target.max(MIN_BUCKETS).next_power_of_two();
+        let mut all: Vec<Entry<E>> = Vec::with_capacity(self.entries);
+        for b in &mut self.buckets {
+            all.append(b);
+        }
+        let mut min = u64::MAX;
+        for e in &all {
+            min = min.min(e.time.as_nanos());
+        }
+        if all.len() > 1 {
+            let mut times: Vec<u64> = all.iter().map(|e| e.time.as_nanos()).collect();
+            let k = (times.len() - 1).min(WIDTH_SAMPLE);
+            let (_, &mut kth, _) = times.select_nth_unstable(k);
+            let head_gap = kth.saturating_sub(min) / k as u64;
+            self.set_width(head_gap.saturating_mul(GAP_FACTOR));
+        } else {
+            self.set_width(1);
+        }
+        if nbuckets != self.buckets.len() {
+            self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+            self.mask = nbuckets - 1;
+        }
+        self.entries = 0;
+        if min != u64::MAX {
+            self.anchor(SimTime::from_nanos(min));
+        }
+        for entry in all {
+            self.insert(entry);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(ns: u64, seq: u64) -> Entry<u64> {
+        Entry {
+            time: SimTime::from_nanos(ns),
+            seq,
+            event: seq,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_seq_order() {
+        let mut c = Calendar::new();
+        c.insert(entry(30, 0));
+        c.insert(entry(10, 1));
+        c.insert(entry(10, 2));
+        c.insert(entry(20, 3));
+        let order: Vec<u64> = std::iter::from_fn(|| c.pop_min().map(|e| e.seq)).collect();
+        assert_eq!(order, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn insert_behind_cursor_is_delivered_first() {
+        let mut c = Calendar::new();
+        for i in 0..64u64 {
+            c.insert(entry(i * 1_000_000, i));
+        }
+        c.maybe_resize();
+        // Drain half, advancing the cursor deep into the wheel.
+        for i in 0..32u64 {
+            assert_eq!(c.pop_min().map(|e| e.seq), Some(i));
+        }
+        // A new event at the last-popped instant (the earliest legal
+        // schedule time) must still come out before everything else.
+        c.insert(entry(31 * 1_000_000, 999));
+        assert_eq!(c.pop_min().map(|e| e.seq), Some(999));
+        assert_eq!(c.pop_min().map(|e| e.seq), Some(32));
+    }
+
+    #[test]
+    fn survives_resize_cycles() {
+        let mut c = Calendar::new();
+        for i in 0..10_000u64 {
+            c.insert(entry(i * 37, i));
+            c.maybe_resize();
+        }
+        let mut last = (SimTime::ZERO, 0u64);
+        let mut popped = 0usize;
+        while let Some(e) = c.pop_min() {
+            assert!(
+                (e.time, e.seq) > last || popped == 0,
+                "out of order at pop {popped}"
+            );
+            last = (e.time, e.seq);
+            popped += 1;
+            c.maybe_resize();
+        }
+        assert_eq!(popped, 10_000);
+    }
+
+    #[test]
+    fn stale_width_recovers_via_rewidth() {
+        let mut c = Calendar::new();
+        // Dense phase: ns-spaced events establish a tiny width.
+        for i in 0..100u64 {
+            c.insert(entry(i, i));
+        }
+        c.maybe_resize();
+        for _ in 0..100 {
+            assert!(c.pop_min().is_some());
+        }
+        // Sparse phase at the same count: seconds-spaced events.
+        for i in 0..100u64 {
+            c.insert(entry(1_000_000_000 * (i + 1), 1000 + i));
+        }
+        for i in 0..100u64 {
+            assert_eq!(c.pop_min().map(|e| e.seq), Some(1000 + i));
+        }
+        assert!(c.pop_min().is_none());
+    }
+
+    #[test]
+    fn far_future_times_do_not_overflow() {
+        let mut c = Calendar::new();
+        c.insert(entry(u64::MAX - 1, 0));
+        c.insert(entry(5, 1));
+        assert_eq!(c.pop_min().map(|e| e.seq), Some(1));
+        assert_eq!(c.pop_min().map(|e| e.seq), Some(0));
+        assert!(c.pop_min().is_none());
+    }
+}

@@ -1,0 +1,89 @@
+//! Tier-1 guarantee of the event scheduler: running the same
+//! (trace × policy) matrix under any `SchedulerKind` backend produces
+//! byte-identical serialized results, at any `--jobs` count. The
+//! calendar queue is a wall-clock optimisation only — the delivered
+//! event sequence, and everything downstream of it, must not depend on
+//! which backend ran it.
+
+use afraid::config::ArrayConfig;
+use afraid::driver::{run_trace, RunOptions, RunResult};
+use afraid::policy::ParityPolicy;
+use afraid_exp::{generate_traces, run_matrix};
+use afraid_sim::queue::SchedulerKind;
+use afraid_sim::time::SimDuration;
+use afraid_trace::workloads::WorkloadKind;
+
+const CAPACITY: u64 = 512 * 1024 * 1024;
+const SEED: u64 = 0xAF1D_0009;
+
+fn kinds() -> [WorkloadKind; 3] {
+    // As400-1 is the burst-heavy production trace — the shape that
+    // exercises `schedule_batch` bursts hardest.
+    [
+        WorkloadKind::Hplajw,
+        WorkloadKind::As400_1,
+        WorkloadKind::Att,
+    ]
+}
+
+fn policies() -> [(&'static str, ParityPolicy); 3] {
+    [
+        ("raid0", ParityPolicy::NeverRebuild),
+        ("afraid", ParityPolicy::IdleOnly),
+        ("raid5", ParityPolicy::AlwaysRaid5),
+    ]
+}
+
+/// Serializes every cell of the matrix run under `scheduler` at
+/// `jobs` workers into one byte string.
+fn matrix_blob(jobs: usize, scheduler: SchedulerKind) -> String {
+    let duration = SimDuration::from_secs(20);
+    let traces = generate_traces(jobs, &kinds(), CAPACITY, duration, SEED);
+    let policies = policies();
+    let rows: Vec<Vec<RunResult>> =
+        run_matrix(jobs, &traces, &policies, move |trace, (_, policy), _| {
+            let mut cfg = ArrayConfig::paper_default(*policy);
+            cfg.scheduler = scheduler;
+            run_trace(&cfg, trace, &RunOptions::default())
+        });
+    let mut blob = String::new();
+    for row in &rows {
+        for result in row {
+            blob.push_str(&serde_json::to_string(result).expect("RunResult serializes"));
+            blob.push('\n');
+        }
+    }
+    blob
+}
+
+#[test]
+fn calendar_matches_heap_cell_by_cell() {
+    let heap = matrix_blob(1, SchedulerKind::Heap);
+    let cal = matrix_blob(1, SchedulerKind::Calendar);
+    assert!(heap.lines().count() == 9, "expected 3x3 cells");
+    // Compare per cell so a divergence names its (trace, policy) cell
+    // instead of dumping two 9-cell blobs.
+    for (i, (h, c)) in heap.lines().zip(cal.lines()).enumerate() {
+        let trace = kinds()[i / 3].name();
+        let policy = policies()[i % 3].0;
+        assert_eq!(h, c, "scheduler divergence in cell ({trace}, {policy})");
+    }
+    assert_eq!(heap, cal, "blob lengths differ");
+}
+
+#[test]
+fn scheduler_identity_holds_at_any_job_count() {
+    // The cross product: both backends, sequential and fanned-out.
+    // Everything must collapse to one byte string.
+    let reference = matrix_blob(1, SchedulerKind::Heap);
+    for scheduler in SchedulerKind::all() {
+        for jobs in [1, 4] {
+            assert_eq!(
+                reference,
+                matrix_blob(jobs, scheduler),
+                "jobs={jobs} under {} diverged from the jobs=1 heap reference",
+                scheduler.name()
+            );
+        }
+    }
+}
