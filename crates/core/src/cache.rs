@@ -49,9 +49,10 @@ impl ReadCache {
         let ids = self.block_ids(offset, bytes);
         if self.capacity > 0 && ids.clone().all(|b| self.blocks.contains(&b)) {
             for b in ids {
-                let i = self.blocks.iter().position(|&x| x == b).expect("resident");
-                self.blocks.remove(i);
-                self.blocks.push_back(b);
+                if let Some(i) = self.blocks.iter().position(|&x| x == b) {
+                    self.blocks.remove(i);
+                    self.blocks.push_back(b);
+                }
             }
             self.hits += 1;
             true

@@ -289,15 +289,44 @@ impl ArrayConfig {
     /// Stable textual encoding of every configuration field, used by
     /// the cross-run cell cache as key material.
     ///
-    /// Built on the derived `Debug` representation: it covers every
-    /// field recursively (including `ScrubConfig`, `FaultConfig`, the
-    /// disk model, and region overrides), and a newly added field
-    /// automatically changes the encoding — so stale cache entries
-    /// keyed on an older shape can never be confused with the new one.
-    /// Float fields are rendered with Rust's shortest round-trip
-    /// formatting, which is injective on bit patterns.
+    /// The exhaustive destructuring (no `..`) makes the compiler
+    /// enforce completeness: a newly added field fails this function
+    /// until it is rendered, so stale cache entries keyed on an older
+    /// shape can never be confused with the new one. Lint rule d5
+    /// checks the same property structurally, plus that every embedded
+    /// struct renders through derived (bit-complete) `Debug`. Float
+    /// fields are rendered with Rust's shortest round-trip formatting,
+    /// which is injective on bit patterns.
     pub fn cache_encoding(&self) -> String {
-        format!("{self:?}")
+        let ArrayConfig {
+            disks,
+            stripe_unit_bytes,
+            disk_model,
+            policy,
+            host_policy,
+            idle_delay,
+            scrub_batch,
+            mark_granularity,
+            read_cache_bytes,
+            params,
+            shadow,
+            spin_synchronized,
+            regions,
+            scrub,
+            faults,
+            integrity,
+            scheduler,
+        } = self;
+        format!(
+            "disks:{disks:?};stripe_unit_bytes:{stripe_unit_bytes:?};\
+             disk_model:{disk_model:?};policy:{policy:?};\
+             host_policy:{host_policy:?};idle_delay:{idle_delay:?};\
+             scrub_batch:{scrub_batch:?};mark_granularity:{mark_granularity:?};\
+             read_cache_bytes:{read_cache_bytes:?};params:{params:?};\
+             shadow:{shadow:?};spin_synchronized:{spin_synchronized:?};\
+             regions:{regions:?};scrub:{scrub:?};faults:{faults:?};\
+             integrity:{integrity:?};scheduler:{scheduler:?}"
+        )
     }
 
     /// Validates the configuration.

@@ -285,6 +285,7 @@ pub fn run_to_cut(cfg: &ArrayConfig, trace: &Trace, opts: &RunOptions, cut: u64)
     let mut run = TraceRun::new(cfg, trace, opts);
     while run.events_processed < cut && run.step() {}
     let image = CrashImage::capture(&run.c, run.events_processed)
+        // lint:allow(d7) guarded: the assert!(cfg.shadow) at function entry guarantees the shadow model exists
         .expect("shadow model present: checked above");
     CrashRun {
         image,

@@ -316,12 +316,14 @@ pub fn assess_loss(
             match (dirty, recon) {
                 (false, Reconstruction::Recovered) | (true, Reconstruction::Lost) => {}
                 (false, Reconstruction::Lost) => {
+                    // lint:allow(d7) deliberate ground-truth cross-check: a clean mark with an unrecoverable unit means the simulator itself is broken, and continuing would publish wrong loss numbers
                     panic!("invariant violated: stripe {stripe} clean but unit unrecoverable")
                 }
                 (true, Reconstruction::Recovered) => {
                     // Possible only if a write happened to restore the
                     // XOR identity by accident; version words make this
                     // effectively impossible, so flag it.
+                    // lint:allow(d7) deliberate ground-truth cross-check, same contract as the clean-but-lost arm above
                     panic!("invariant violated: stripe {stripe} dirty but consistent")
                 }
             }
@@ -338,6 +340,7 @@ pub fn assess_loss(
                     if let (Some(shadow), Some(int)) = (shadow, integrity) {
                         let unit = (0..layout.data_units())
                             .find(|&u| layout.data_disk(stripe, u) == failed_disk)
+                            // lint:allow(d7) layout invariant: in left-symmetric RAID-5 every non-parity disk holds exactly one data unit per stripe, and this branch excluded the parity disk
                             .expect("failed disk holds a data unit of this stripe");
                         let candidate = shadow.xor_survivors(stripe, failed_disk);
                         if !int.verify(stripe, unit, candidate) {
@@ -360,6 +363,7 @@ pub fn assess_loss(
         } else {
             let unit = (0..layout.data_units())
                 .find(|&u| layout.data_disk(stripe, u) == failed_disk)
+                // lint:allow(d7) layout invariant: every non-parity disk holds exactly one data unit per stripe, and the parity-disk case was handled above
                 .expect("failed disk holds a data unit of this stripe");
             report.lost_units += 1;
             let frac = marks.row_mask(stripe).count_ones() as f64 / m;
@@ -390,6 +394,7 @@ fn assess_latent_stripe(
     let data_unit_of = |disk: u32| {
         (0..layout.data_units())
             .find(|&u| layout.data_disk(stripe, u) == disk)
+            // lint:allow(d7) layout invariant: only called for non-parity disks, each of which holds exactly one data unit per stripe
             .expect("non-parity disk holds a data unit of this stripe")
     };
     let mut survivor_bad: u64 = 0;

@@ -143,10 +143,9 @@ impl TourScrubber {
         self.scanned = 0;
         self.tours_done += 1;
         self.origin = self.rng.next_below(self.stripes);
-        let started = self
-            .started_at
-            .take()
-            .expect("completed tour never started");
+        // A completing tour always has a start mark (set when its
+        // first batch was handed out); `?` keeps the path panic-free.
+        let started = self.started_at.take()?;
         Some(now.since(started))
     }
 }

@@ -77,8 +77,9 @@ impl SegmentedCache {
     /// LRU order and hit statistics.
     pub fn hit(&mut self, lba: u64, sectors: u64) -> bool {
         if let Some(i) = self.segments.iter().position(|s| s.contains(lba, sectors)) {
-            let seg = self.segments.remove(i).expect("index valid");
-            self.segments.push_back(seg);
+            if let Some(seg) = self.segments.remove(i) {
+                self.segments.push_back(seg);
+            }
             self.hits += 1;
             true
         } else {
@@ -102,11 +103,12 @@ impl SegmentedCache {
             .iter()
             .position(|s| s.overlaps(lba, len) || s.start + s.len == lba)
         {
-            let mut seg = self.segments.remove(i).expect("index valid");
-            let end = (lba + len).max(seg.start + seg.len);
-            seg.start = seg.start.min(lba);
-            seg.len = (end - seg.start).min(self.max_segment_sectors);
-            self.segments.push_back(seg);
+            if let Some(mut seg) = self.segments.remove(i) {
+                let end = (lba + len).max(seg.start + seg.len);
+                seg.start = seg.start.min(lba);
+                seg.len = (end - seg.start).min(self.max_segment_sectors);
+                self.segments.push_back(seg);
+            }
             return;
         }
         if self.segments.len() == self.max_segments {

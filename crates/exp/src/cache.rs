@@ -214,10 +214,10 @@ impl CellCache {
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            invalid: self.invalid.load(Ordering::Relaxed),
-            stored: self.stored.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Acquire),
+            misses: self.misses.load(Ordering::Acquire),
+            invalid: self.invalid.load(Ordering::Acquire),
+            stored: self.stored.load(Ordering::Acquire),
         }
     }
 
@@ -257,15 +257,15 @@ impl CellCache {
     pub fn lookup(&self, key: &CacheKey) -> Option<String> {
         match self.read_validated(key) {
             ReadOutcome::Valid(p) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::AcqRel);
                 Some(p)
             }
             ReadOutcome::Absent => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::AcqRel);
                 None
             }
             ReadOutcome::Invalid => {
-                self.invalid.fetch_add(1, Ordering::Relaxed);
+                self.invalid.fetch_add(1, Ordering::AcqRel);
                 None
             }
         }
@@ -291,6 +291,7 @@ impl CellCache {
         }
         // Unique temp name per (process, store) so parallel workers —
         // and parallel *processes* — never collide mid-write.
+        // lint:allow(d8) relaxed is sound: the counter only feeds temp-file name uniqueness, never results
         let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
         let tmp = self
             .dir
@@ -301,7 +302,7 @@ impl CellCache {
         }
         // lint:allow(d1) cache write: rename is the atomic publish step; on failure the temp file is removed and the store is skipped
         if fs::rename(&tmp, self.entry_path(key)).is_ok() {
-            self.stored.fetch_add(1, Ordering::Relaxed);
+            self.stored.fetch_add(1, Ordering::AcqRel);
         } else {
             // lint:allow(d1) cache write: best-effort cleanup of an unpublished temp file
             let _ = fs::remove_file(&tmp);
@@ -324,7 +325,7 @@ impl CellCache {
         match self.read_validated(key) {
             ReadOutcome::Valid(payload) => match serde_json::from_str::<T>(&payload) {
                 Ok(v) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::AcqRel);
                     debug_assert_eq!(
                         serde_json::to_string(&v).ok().as_deref(),
                         Some(payload.as_str()),
@@ -333,16 +334,16 @@ impl CellCache {
                     v
                 }
                 Err(_) => {
-                    self.invalid.fetch_add(1, Ordering::Relaxed);
+                    self.invalid.fetch_add(1, Ordering::AcqRel);
                     self.run_and_store(key, run)
                 }
             },
             ReadOutcome::Absent => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::AcqRel);
                 self.run_and_store(key, run)
             }
             ReadOutcome::Invalid => {
-                self.invalid.fetch_add(1, Ordering::Relaxed);
+                self.invalid.fetch_add(1, Ordering::AcqRel);
                 self.run_and_store(key, run)
             }
         }

@@ -86,6 +86,7 @@ where
                 scope.spawn(move || {
                     let mut done: Vec<(usize, R)> = Vec::new();
                     loop {
+                        // lint:allow(d8) relaxed is sound: fetch_add is a single atomic RMW, so every index is claimed exactly once; results are ordered by the slot index, not by claim order
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;

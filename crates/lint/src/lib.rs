@@ -25,12 +25,31 @@
 //!   opt-in in every source crate, and no `cfg!(test)` runtime
 //!   branches in library code.
 //!
-//! See `DESIGN.md` §10 for the rationale behind each rule.
+//! Rules d5–d7 run over the workspace **symbol graph** (see
+//! [`symbols`], [`graph`], [`wsrules`]) rather than per file:
+//!
+//! * **d5** — cache-key completeness: every `ArrayConfig` field (and
+//!   every struct transitively embedded in it) must reach
+//!   `cache_encoding()`; manual `Debug` impls in the closure need a
+//!   reviewed-injective annotation.
+//! * **d6** — schema-tag drift: structural fingerprints of the
+//!   serialized result shapes are pinned in `lint-baseline.toml`;
+//!   changing a shape without bumping its tag fails.
+//! * **d7** — call-graph panic reachability: d3's panic budget,
+//!   extended from the hot-path allowlist to everything reachable
+//!   from `run_trace`/`run_to_cut`.
+//! * **d8** — concurrency hygiene in the thread-spawning `exp` crate:
+//!   `static mut`, `Ordering::Relaxed`, non-scoped `thread::spawn`.
+//!
+//! See `DESIGN.md` §10 and §15 for the rationale behind each rule.
 
 pub mod baseline;
+pub mod graph;
 pub mod lexer;
 pub mod manifest;
 pub mod rules;
+pub mod symbols;
+pub mod wsrules;
 
 use std::fs;
 use std::io;
@@ -39,6 +58,8 @@ use std::path::{Path, PathBuf};
 pub use rules::{lint_source, FileClass, Finding};
 
 use baseline::AllowCounts;
+use graph::{Graph, GraphStats};
+use wsrules::SchemaProbe;
 
 /// The deterministic crate set: results must be a pure function of
 /// explicit inputs everywhere in here.
@@ -60,6 +81,9 @@ const HOT_PATH_FILES: &[&str] = &[
 /// `FxHashMap`/`U64Set` aliases D2 points everyone at).
 const D2_EXEMPT_FILES: &[&str] = &["crates/sim/src/hash.rs"];
 
+/// Thread-spawning crates under D8's concurrency hygiene.
+const CONCURRENCY_CRATES: &[&str] = &["exp"];
+
 /// Whole-workspace lint result.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
@@ -69,6 +93,10 @@ pub struct Report {
     pub allows: AllowCounts,
     /// Files scanned (repo-relative), for reporting.
     pub files_scanned: usize,
+    /// Measured schema-tag probes (D6), for baseline writing/diffing.
+    pub schema: Vec<SchemaProbe>,
+    /// Symbol-graph statistics, for `--json` and the CI artifact.
+    pub graph: GraphStats,
 }
 
 /// Classifies a repo-relative source path.
@@ -85,7 +113,16 @@ fn classify(rel: &str) -> FileClass {
         d1_exempt: D1_EXEMPT_CRATES.contains(&crate_name),
         d2_exempt: D2_EXEMPT_FILES.contains(&rel),
         hot_path: HOT_PATH_FILES.contains(&rel),
+        concurrency: CONCURRENCY_CRATES.contains(&crate_name),
     }
+}
+
+/// D7's coverage: deterministic, not the timing-exempt bench crate
+/// (its panics abort a bench, not the experiment matrix), and not
+/// already under D3's stricter hot-path budget.
+fn d7_covered(rel: &str) -> bool {
+    let class = classify(rel);
+    class.deterministic && !class.d1_exempt && !class.hot_path
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted so the scan
@@ -119,6 +156,10 @@ fn rel_of(root: &Path, path: &Path) -> String {
 /// may time and hash freely.
 pub fn run_workspace(root: &Path) -> io::Result<Report> {
     let mut report = Report::default();
+    // Per-file symbol sets for the workspace graph, and pending
+    // graph-rule allows as (file, rule, line, last_line, used).
+    let mut file_symbols: Vec<symbols::FileSymbols> = Vec::new();
+    let mut graph_allows: Vec<(String, String, u32, u32, bool)> = Vec::new();
 
     // Source crates: crates/* (sorted) + the root package.
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(root.join("crates"))?
@@ -144,6 +185,10 @@ pub fn run_workspace(root: &Path) -> io::Result<Report> {
                 for (rule, _line) in fr.allows_used {
                     *report.allows.entry((rule, rel.clone())).or_insert(0) += 1;
                 }
+                for (rule, line, last_line) in fr.graph_allows {
+                    graph_allows.push((rel.clone(), rule, line, last_line, false));
+                }
+                file_symbols.push(symbols::scan_file(&rel, &src));
                 report.files_scanned += 1;
             }
         }
@@ -155,6 +200,50 @@ pub fn run_workspace(root: &Path) -> io::Result<Report> {
                 .findings
                 .extend(manifest::lint_manifest(&rel, &src, true));
             report.files_scanned += 1;
+        }
+    }
+
+    // Workspace rules over the assembled symbol graph.
+    let graph = Graph::build(&file_symbols);
+    let mut ws_findings = wsrules::check_cache_key(&graph, wsrules::D5_ROOT.0, wsrules::D5_ROOT.1);
+    let (probes, d6_findings) = wsrules::probe_schemas(&graph, wsrules::D6_BINDINGS);
+    ws_findings.extend(d6_findings);
+    ws_findings.extend(wsrules::check_panic_reachability(
+        &graph,
+        wsrules::D7_ENTRIES,
+        &d7_covered,
+    ));
+    report.schema = probes;
+    report.graph = graph.stats(wsrules::D7_ENTRIES);
+
+    // Match graph findings against the per-file allows exported above:
+    // same rule, same file, annotation covering the finding's line or
+    // the line above it (the same span rule as the local rules).
+    'finding: for f in ws_findings {
+        for a in graph_allows.iter_mut() {
+            if a.0 == f.file && a.1 == f.rule && a.3.saturating_add(1) >= f.line && a.2 <= f.line {
+                a.4 = true;
+                continue 'finding;
+            }
+        }
+        report.findings.push(f);
+    }
+    for (file, rule, line, _, used) in &graph_allows {
+        if *used {
+            // Count each live annotation once, same as the local rules.
+            *report
+                .allows
+                .entry((rule.clone(), file.clone()))
+                .or_insert(0) += 1;
+        } else {
+            report.findings.push(Finding::new(
+                file,
+                *line,
+                "meta",
+                format!(
+                    "unused lint:allow({rule}) — remove it (the ratchet counts only live allows)"
+                ),
+            ));
         }
     }
 
@@ -180,12 +269,27 @@ pub fn apply_baseline(report: &mut Report, root: &Path, rel_path: &str) {
             return;
         }
     };
-    let (committed, mut errs) = baseline::parse(rel_path, &src);
+    let (committed, schema, mut errs) = baseline::parse(rel_path, &src);
     report.findings.append(&mut errs);
     report
         .findings
         .extend(baseline::diff(rel_path, &report.allows, &committed));
+    report.findings.extend(wsrules::check_schema_drift(
+        rel_path,
+        &report.schema,
+        &schema,
+    ));
     report.findings.sort();
+}
+
+/// The measured `[schema]` section for `--write-baseline`: const name
+/// → `tag@fingerprint`.
+pub fn schema_section(report: &Report) -> baseline::SchemaMap {
+    report
+        .schema
+        .iter()
+        .map(|p| (p.const_name.clone(), p.entry()))
+        .collect()
 }
 
 /// Renders findings as JSON (machine-readable, stable order). Shape:
@@ -219,9 +323,26 @@ pub fn to_json(report: &Report) -> String {
         ));
     }
     out.push_str(&format!(
-        "\n  ],\n  \"files_scanned\": {},\n  \"allow_annotations\": {}\n}}\n",
+        "\n  ],\n  \"files_scanned\": {},\n  \"allow_annotations\": {},\n",
         report.files_scanned,
         report.allows.values().map(|&v| u64::from(v)).sum::<u64>()
     ));
+    let g = &report.graph;
+    out.push_str(&format!(
+        "  \"graph\": {{\"fns\": {}, \"structs\": {}, \"call_edges\": {}, \"panic_sites\": {}, \"reachable_panic_sites\": {}}},\n",
+        g.fns, g.structs, g.call_edges, g.panic_sites, g.reachable_panic_sites
+    ));
+    out.push_str("  \"schema\": {");
+    for (i, p) in report.schema.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "\"{}\": \"{}\"",
+            esc(&p.const_name),
+            esc(&p.entry())
+        ));
+    }
+    out.push_str("}\n}\n");
     out
 }

@@ -50,10 +50,19 @@ pub struct FileClass {
     pub d2_exempt: bool,
     /// Event-loop hot path: D3 applies.
     pub hot_path: bool,
+    /// Spawns worker threads (the `exp` crate): D8 concurrency
+    /// hygiene applies.
+    pub concurrency: bool,
 }
 
 /// Rule ids that inline annotations may name.
-pub const RULES: &[&str] = &["d1", "d2", "d3", "d4"];
+pub const RULES: &[&str] = &["d1", "d2", "d3", "d4", "d5", "d6", "d7", "d8"];
+
+/// Rules evaluated over the workspace symbol graph rather than per
+/// file. Their `lint:allow` annotations are matched *after* the graph
+/// rules run (see [`crate::run_workspace`]); `lint_source` exports
+/// them instead of flagging them unused.
+pub const GRAPH_RULES: &[&str] = &["d5", "d7"];
 
 /// D1: ambient wall-clock / OS-entropy identifiers. Any of these in a
 /// result-affecting path makes a cell's outcome depend on when or
@@ -94,6 +103,10 @@ pub struct FileReport {
     pub findings: Vec<Finding>,
     /// Used allow annotations per rule, for the baseline ratchet.
     pub allows_used: Vec<(String, u32)>,
+    /// Annotations naming a graph rule (`d5`, `d7`), exported as
+    /// `(rule, line, last_line)` for post-graph matching: whether they
+    /// suppress anything is only known once the workspace rules ran.
+    pub graph_allows: Vec<(String, u32, u32)>,
 }
 
 /// Lints one source file given its class. `file` is the repo-relative
@@ -126,6 +139,9 @@ pub fn lint_source(file: &str, src: &[u8], class: FileClass) -> FileReport {
         if class.deterministic {
             check_d4_cfg_test(file, &code, i, tok, &mut raw);
         }
+        if class.concurrency {
+            check_d8(file, &code, i, tok, &mut raw);
+        }
     }
 
     // Apply annotations: a finding on line L is carried by an allow
@@ -146,9 +162,14 @@ pub fn lint_source(file: &str, src: &[u8], class: FileClass) -> FileReport {
     }
 
     let mut allows_used: Vec<(String, u32)> = Vec::new();
+    let mut graph_allows: Vec<(String, u32, u32)> = Vec::new();
     for a in &allows {
         if a.used {
             allows_used.push((a.rule.clone(), a.line));
+        } else if a.has_reason && GRAPH_RULES.contains(&a.rule.as_str()) {
+            // Graph-rule allows can only be judged used/unused after
+            // the workspace rules ran — export, don't flag.
+            graph_allows.push((a.rule.clone(), a.line, a.last_line));
         } else if a.has_reason && RULES.contains(&a.rule.as_str()) {
             findings.push(Finding::new(
                 file,
@@ -166,6 +187,7 @@ pub fn lint_source(file: &str, src: &[u8], class: FileClass) -> FileReport {
     FileReport {
         findings,
         allows_used,
+        graph_allows,
     }
 }
 
@@ -251,7 +273,7 @@ pub fn annotation_hygiene(file: &str, src: &[u8]) -> Vec<Finding> {
 /// Marks tokens under `#[cfg(test)]` / `#[test]` items (attribute
 /// through the end of the attached item). `cfg(not(test))` and
 /// `cfg(any/all(..not..))` are conservatively treated as *non*-test.
-fn test_mask(code: &[&Tok<'_>]) -> Vec<bool> {
+pub(crate) fn test_mask(code: &[&Tok<'_>]) -> Vec<bool> {
     let mut mask = vec![false; code.len()];
     let mut i = 0usize;
     while i < code.len() {
@@ -454,6 +476,52 @@ fn check_d3(file: &str, code: &[&Tok<'_>], i: usize, tok: &Tok<'_>, out: &mut Ve
                 "slice/array indexing in the event-loop hot path can panic (use get/get_mut, a checked helper, or annotate the bound)".to_string(),
             ));
         }
+    }
+}
+
+/// D8: concurrency hygiene in thread-spawning crates. The parallel
+/// engine's bit-identity promise survives only if the worker pool's
+/// shared state synchronizes properly: mutable statics and
+/// `Ordering::Relaxed` on result-affecting atomics are races waiting
+/// for a reordering, and non-scoped spawns detach from the pool's
+/// join discipline.
+fn check_d8(file: &str, code: &[&Tok<'_>], i: usize, tok: &Tok<'_>, out: &mut Vec<Finding>) {
+    // `static mut` — shared mutable state with no synchronization.
+    if tok.is_ident("static") && code.get(i + 1).is_some_and(|t| t.is_ident("mut")) {
+        out.push(Finding::new(
+            file,
+            tok.line,
+            "d8",
+            "`static mut` in a thread-spawning crate: unsynchronized shared state is a data race (use an atomic, a Mutex, or thread-local state)".to_string(),
+        ));
+        return;
+    }
+    // `Ordering::Relaxed` — no happens-before edge. Fine for a free
+    // counter nobody reads back into results; wrong for anything that
+    // feeds printed stats or assertions.
+    if tok.is_ident("Relaxed") {
+        out.push(Finding::new(
+            file,
+            tok.line,
+            "d8",
+            "`Ordering::Relaxed` in a thread-spawning crate: no happens-before edge, so cross-thread reads may see stale values (use Acquire/Release/AcqRel for anything result-affecting, or annotate why relaxed is sound)".to_string(),
+        ));
+        return;
+    }
+    // `thread::spawn` — detached from scoped-join discipline.
+    // `scope.spawn(..)` / `s.spawn(..)` are method calls (preceded by
+    // `.`) and don't match this path pattern.
+    if tok.is_ident("thread")
+        && code.get(i + 1).is_some_and(|t| t.is_punct(b':'))
+        && code.get(i + 2).is_some_and(|t| t.is_punct(b':'))
+        && code.get(i + 3).is_some_and(|t| t.is_ident("spawn"))
+    {
+        out.push(Finding::new(
+            file,
+            tok.line,
+            "d8",
+            "`thread::spawn` in a thread-spawning crate: non-scoped threads outlive the spawner and break the pool's join/propagate-panic discipline (use std::thread::scope)".to_string(),
+        ));
     }
 }
 

@@ -4,7 +4,10 @@
 //! misses, no false positives — and that the fixture's annotated-allow
 //! examples are counted as used.
 
-use afraid_lint::{lint_source, FileClass};
+use afraid_lint::graph::Graph;
+use afraid_lint::rules::Finding;
+use afraid_lint::symbols::scan_file;
+use afraid_lint::{lint_source, wsrules, FileClass};
 
 fn fixture(name: &str) -> Vec<u8> {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -70,9 +73,7 @@ fn check_fixture(name: &str, rule: &str, class: FileClass, expect_allows: usize)
 fn det() -> FileClass {
     FileClass {
         deterministic: true,
-        d1_exempt: false,
-        d2_exempt: false,
-        hot_path: false,
+        ..FileClass::default()
     }
 }
 
@@ -100,6 +101,125 @@ fn d4_fires_on_cfg_test_runtime_branches() {
     check_fixture("d4_violations.rs", "d4", det(), 1);
 }
 
+#[test]
+fn d8_fires_on_static_mut_relaxed_and_detached_spawn() {
+    let class = FileClass {
+        deterministic: true,
+        concurrency: true,
+        ..FileClass::default()
+    };
+    check_fixture("d8_violations.rs", "d8", class, 1);
+}
+
+/// Runs a workspace (graph) rule over one fixture file, then applies
+/// its `lint:allow` annotations exactly the way `run_workspace` does:
+/// a graph finding is suppressed when an annotation of the same rule
+/// sits on the finding's line or the line directly above it. Asserts
+/// the surviving findings land exactly on the POSITIVE lines and that
+/// every annotation suppressed something.
+fn check_graph_fixture(name: &str, rule: &str, run: &dyn Fn(&Graph) -> Vec<Finding>) {
+    let src = fixture(name);
+    let expected = positive_lines(&src);
+    assert!(
+        !expected.is_empty(),
+        "{name}: fixture must contain at least one POSITIVE marker"
+    );
+
+    // The file-local pass must stay silent (no off-rule noise, no
+    // meta findings) and export the fixture's graph-rule allows.
+    let report = lint_source(name, &src, det());
+    assert!(
+        report.findings.is_empty(),
+        "{name}: file-local pass should be clean: {:?}",
+        report.findings
+    );
+    let allows: Vec<_> = report
+        .graph_allows
+        .iter()
+        .filter(|(r, _, _)| r == rule)
+        .collect();
+
+    let g = Graph::build(&[scan_file(name, &src)]);
+    let mut findings = run(&g);
+    for f in &findings {
+        assert_eq!(f.rule, rule, "{name}: off-rule finding {f:?}");
+    }
+    let before = findings.len();
+    findings.retain(|f| {
+        !allows
+            .iter()
+            .any(|(_, line, last)| *line <= f.line && f.line <= last + 1)
+    });
+    assert_eq!(
+        before - findings.len(),
+        allows.len(),
+        "{name}: every lint:allow({rule}) must suppress exactly one finding"
+    );
+
+    let mut got: Vec<u32> = findings.iter().map(|f| f.line).collect();
+    got.sort_unstable();
+    got.dedup();
+    assert_eq!(
+        got, expected,
+        "{name}: findings (left) must land exactly on the POSITIVE lines (right)"
+    );
+}
+
+#[test]
+fn d5_fires_on_unsalted_field_missing_derive_and_lossy_debug() {
+    check_graph_fixture("d5_violations.rs", "d5", &|g| {
+        wsrules::check_cache_key(g, "Cfg", "cache_encoding")
+    });
+}
+
+#[test]
+fn d7_fires_on_reachable_panic_sites_only() {
+    check_graph_fixture("d7_violations.rs", "d7", &|g| {
+        wsrules::check_panic_reachability(g, &["entry"], &|_| true)
+    });
+}
+
+#[test]
+fn d6_fires_on_shape_edit_without_tag_bump() {
+    let src = fixture("d6_violations.rs");
+    let expected = positive_lines(&src);
+    let bindings: &[(&str, &[&str])] = &[("FIXTURE_SCHEMA", &["FixtureMetrics"])];
+    let probe = |bytes: &[u8]| {
+        let g = Graph::build(&[scan_file("d6_violations.rs", bytes)]);
+        let (probes, errs) = wsrules::probe_schemas(&g, bindings);
+        assert!(errs.is_empty(), "{errs:?}");
+        probes
+    };
+
+    let committed: std::collections::BTreeMap<String, String> =
+        [("FIXTURE_SCHEMA".to_string(), probe(&src)[0].entry())]
+            .into_iter()
+            .collect();
+    // Unchanged shape: clean.
+    assert!(wsrules::check_schema_drift("bl.toml", &probe(&src), &committed).is_empty());
+
+    // Append a field below the marked const so its line is unchanged,
+    // keep the tag: the drift finding must land on the POSITIVE line.
+    let edited = String::from_utf8(src.clone())
+        .expect("fixture is utf-8")
+        .replace(
+            "pub writes: u64,",
+            "pub writes: u64,\n    pub retries: u64,",
+        );
+    assert_ne!(edited.as_bytes(), &src[..], "edit must apply");
+    let findings = wsrules::check_schema_drift("bl.toml", &probe(edited.as_bytes()), &committed);
+    let got: Vec<u32> = findings.iter().map(|f| f.line).collect();
+    assert_eq!(
+        got, expected,
+        "drift finding must land exactly on the POSITIVE line"
+    );
+    assert!(
+        findings[0].message.contains("schema tag is still"),
+        "{}",
+        findings[0].message
+    );
+}
+
 /// The exemption bits really do switch rules off: the D1 fixture is
 /// clean for an allowlisted (bench) file, the D2 fixture for the hash
 /// wrapper, the D3 fixture off the hot path.
@@ -111,8 +231,7 @@ fn exemptions_silence_the_rules() {
         FileClass {
             deterministic: true,
             d1_exempt: true,
-            d2_exempt: false,
-            hot_path: false,
+            ..FileClass::default()
         },
     );
     assert!(
@@ -126,9 +245,8 @@ fn exemptions_silence_the_rules() {
         &fixture("d2_violations.rs"),
         FileClass {
             deterministic: true,
-            d1_exempt: false,
             d2_exempt: true,
-            hot_path: false,
+            ..FileClass::default()
         },
     );
     assert!(
@@ -146,6 +264,13 @@ fn exemptions_silence_the_rules() {
         d3.findings.iter().all(|f| f.rule != "d3"),
         "off the hot path d3 must not fire: {:?}",
         d3.findings
+    );
+
+    let d8 = lint_source("d8_violations.rs", &fixture("d8_violations.rs"), det());
+    assert!(
+        d8.findings.iter().all(|f| f.rule != "d8"),
+        "outside a concurrency crate d8 must not fire: {:?}",
+        d8.findings
     );
 }
 

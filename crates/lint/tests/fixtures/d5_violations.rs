@@ -1,0 +1,63 @@
+//! Fixture: rule d5 (cache-key completeness). The graph harness in
+//! tests/fixtures.rs scans this file alone and runs `check_cache_key`
+//! with root `Cfg` and key fn `cache_encoding`. POSITIVE lines must
+//! fire; the annotated manual Debug impl must be suppressed by its
+//! `lint:allow(d5)`.
+
+use std::fmt;
+
+#[derive(Clone, Debug)]
+pub struct Tuning {
+    pub alpha: u64,
+}
+
+pub struct Opaque { // POSITIVE: embedded in the key but does not derive Debug
+    pub raw: u64,
+}
+
+#[derive(Clone)]
+pub struct Rounded {
+    pub nanos: u64,
+}
+
+impl fmt::Debug for Rounded { // POSITIVE: lossy manual Debug on an embedded struct
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.nanos / 1_000_000_000)
+    }
+}
+
+#[derive(Clone)]
+pub struct Stamped {
+    pub nanos: u64,
+}
+
+// lint:allow(d5) injective: the exact nanosecond count is printed, only a unit suffix is added
+impl fmt::Debug for Stamped {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.nanos)
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    pub disks: u64,
+    pub tuning: Tuning,
+    pub opaque: Opaque,
+    pub rounded: Rounded,
+    pub stamped: Stamped,
+    pub forgotten: u64, // POSITIVE: never referenced in cache_encoding
+}
+
+impl Cfg {
+    pub fn cache_encoding(&self) -> String {
+        let Cfg {
+            disks,
+            tuning,
+            opaque,
+            rounded,
+            stamped,
+            ..
+        } = self;
+        format!("{disks:?};{tuning:?};{opaque:?};{rounded:?};{stamped:?}")
+    }
+}

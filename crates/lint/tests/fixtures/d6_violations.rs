@@ -1,0 +1,12 @@
+//! Fixture: rule d6 (schema-tag drift). The harness in
+//! tests/fixtures.rs probes this binding, commits its entry, then
+//! re-probes an edited copy (one field appended to `FixtureMetrics`)
+//! with the tag left untouched — the drift finding must land on the
+//! POSITIVE line below.
+
+pub const FIXTURE_SCHEMA: &str = "fixture-v1"; // POSITIVE: shape edited without bumping this tag
+
+pub struct FixtureMetrics {
+    pub reads: u64,
+    pub writes: u64,
+}

@@ -1,0 +1,29 @@
+//! Fixture: rule d7 (call-graph panic reachability). The graph
+//! harness in tests/fixtures.rs scans this file alone and runs
+//! `check_panic_reachability` with entry `entry`. The POSITIVE site is
+//! reachable through the call chain; the annotated site is suppressed
+//! by its `lint:allow(d7)`; the orphan panic is unreachable and must
+//! stay silent.
+
+pub fn entry(x: u64) -> u64 {
+    guarded(x) + dispatch(x)
+}
+
+fn dispatch(x: u64) -> u64 {
+    helper(x)
+}
+
+fn helper(x: u64) -> u64 {
+    Some(x).unwrap() // POSITIVE: reachable via entry -> dispatch -> helper
+}
+
+fn guarded(x: u64) -> u64 {
+    // lint:allow(d7) guarded: the caller only passes values it already validated
+    Some(x).expect("validated by caller")
+}
+
+// NEGATIVE: not reachable from `entry`, so outside this rule's scope
+// (file-local d3 covers hot-path files regardless of reachability).
+fn orphan() {
+    panic!("never called from the event loop");
+}

@@ -1,0 +1,37 @@
+//! Fixture: rule d8 (concurrency hygiene). Linted as a file of a
+//! thread-spawning crate (`FileClass.concurrency`); every line that
+//! must fire carries a POSITIVE marker, everything else must stay
+//! silent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static mut SHARED: u64 = 0; // POSITIVE: unsynchronized shared mutable state
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub fn racy_read() -> u64 {
+    COUNTER.load(Ordering::Relaxed) // POSITIVE: no happens-before edge
+}
+
+pub fn detached() {
+    std::thread::spawn(|| {}); // POSITIVE: non-scoped spawn escapes join discipline
+}
+
+// NEGATIVE: Acquire/Release orderings carry the happens-before edge.
+pub fn sound_counter() -> u64 {
+    COUNTER.fetch_add(1, Ordering::AcqRel);
+    COUNTER.load(Ordering::Acquire)
+}
+
+// NEGATIVE: scoped spawns are method calls (`s.spawn`), joined before
+// the scope returns — the rule only matches the `thread::spawn` path.
+pub fn scoped_workers() {
+    std::thread::scope(|s| {
+        s.spawn(|| {});
+    });
+}
+
+pub fn tagged_counter() -> u64 {
+    // lint:allow(d8) relaxed is sound: the value only feeds a temp-file name, never a result
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,31 +1,38 @@
 //! The linter runs inside the CI gate over every source file in the
 //! workspace, so it must be total: arbitrary (even non-UTF-8, even
 //! unterminated-string) input may slow it down but never panic it.
+//! The same holds for the symbol/graph layer behind rules d5-d7: it
+//! parses every workspace file on every gate run, so `scan_file`,
+//! `Graph::build`, and `shape_fingerprint` must also be total.
 
+use afraid_lint::graph::Graph;
 use afraid_lint::rules::{annotation_hygiene, lint_source};
+use afraid_lint::symbols::scan_file;
 use afraid_lint::{lexer::tokenize, FileClass};
 use proptest::prelude::*;
 
-fn all_classes() -> [FileClass; 4] {
+fn all_classes() -> [FileClass; 5] {
     [
         FileClass::default(),
         FileClass {
             deterministic: true,
-            d1_exempt: false,
-            d2_exempt: false,
-            hot_path: false,
+            ..FileClass::default()
         },
         FileClass {
             deterministic: true,
             d1_exempt: true,
             d2_exempt: true,
-            hot_path: false,
+            ..FileClass::default()
         },
         FileClass {
             deterministic: true,
-            d1_exempt: false,
-            d2_exempt: false,
             hot_path: true,
+            ..FileClass::default()
+        },
+        FileClass {
+            deterministic: true,
+            concurrency: true,
+            ..FileClass::default()
         },
     ]
 }
@@ -73,9 +80,56 @@ proptest! {
         let _ = tokenize(src.as_bytes());
         let _ = lint_source("adv.rs", src.as_bytes(), FileClass {
             deterministic: true,
-            d1_exempt: false,
-            d2_exempt: false,
             hot_path: true,
+            ..FileClass::default()
         });
+    }
+
+    // The symbol parser and graph builder are total on arbitrary
+    // bytes, and the fingerprint over whatever they extracted is
+    // deterministic.
+    #[test]
+    fn symbol_graph_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let syms = scan_file("fuzz.rs", &bytes);
+        for s in &syms.structs {
+            prop_assert!(s.line >= 1, "struct lines are 1-based");
+        }
+        for f in &syms.fns {
+            prop_assert!(f.line >= 1, "fn lines are 1-based");
+        }
+        let g = Graph::build(&[syms]);
+        let entries: Vec<String> = g.fns.iter().map(|f| f.name.clone()).collect();
+        let entry_refs: Vec<&str> = entries.iter().map(String::as_str).collect();
+        let _ = g.reachable(&entry_refs);
+        let _ = g.stats(&entry_refs);
+        let roots: Vec<&str> = g.structs.iter().map(|s| s.name.as_str()).collect();
+        let fp1 = afraid_lint::graph::shape_fingerprint(&g, &roots);
+        let fp2 = afraid_lint::graph::shape_fingerprint(&g, &roots);
+        prop_assert_eq!(fp1, fp2, "fingerprint must be deterministic");
+    }
+
+    // Bias toward item syntax: nesting, generics, derives, impls,
+    // unterminated groups — the shapes that stress the depth cap and
+    // recovery paths in the item parser.
+    #[test]
+    fn symbol_graph_is_total_on_adversarial_syntax(
+        picks in prop::collection::vec(0usize..28, 0..96)
+    ) {
+        const PIECES: [&str; 28] = [
+            "struct", "enum", "fn", "impl", "for", "trait", "mod",
+            "const", "static", "S", "name", ":", "u64", ",", "<", ">",
+            "{", "}", "(", ")", "#[derive(Debug)]", "#[cfg(test)]",
+            "where", "&str", "= \"v1\"", ";", ".unwrap()", "panic!(",
+        ];
+        let src: String = picks
+            .iter()
+            .filter_map(|&i| PIECES.get(i).copied())
+            .map(|p| format!("{p} "))
+            .collect();
+        let syms = scan_file("adv.rs", src.as_bytes());
+        let g = Graph::build(&[syms]);
+        let _ = g.reachable(&["name"]);
+        let _ = afraid_lint::graph::shape_fingerprint(&g, &["S"]);
+        let _ = afraid_lint::wsrules::check_cache_key(&g, "S", "name");
     }
 }
